@@ -1,0 +1,35 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark reproduces one table or figure of the paper: it runs
+the corresponding experiment once (``benchmark.pedantic`` with a
+single round — these are macro-experiments, not micro-benchmarks),
+prints the reproduced rows/series and writes them to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.  Scale is selected with the ``REPRO_SCALE`` environment
+variable (smoke / default / full / paper).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Artefacts are kept per scale so smoke/default/paper runs coexist.
+RESULTS_DIR = (
+    Path(__file__).resolve().parent
+    / "results"
+    / os.environ.get("REPRO_SCALE", "default")
+)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def run_once(benchmark, fn):
+    """Run a macro-experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Ablation benches for the paper's inline design claims.
+
+* Sec. IV-C: the Set-Dueling epoch length has a broad optimum around
+  the paper's 2M-cycle choice;
+* Sec. IV-B: migrating read-reused SRAM victims to NVM helps hit rate;
+* Sec. II-B: the policies work under a different compressor (FPC).
+"""
+
+from repro.experiments import (
+    format_records,
+    get_scale,
+    run_compressor_ablation,
+    run_epoch_size_sweep,
+    run_migration_ablation,
+)
+
+from _bench_common import emit, run_once
+
+
+def test_ablation_epoch_size(benchmark):
+    scale = get_scale()
+    rows = run_once(
+        benchmark,
+        lambda: run_epoch_size_sweep(scale, multipliers=(0.25, 1.0, 4.0)),
+    )
+    emit(
+        "ablation_epoch_size",
+        format_records(rows, "Ablation: Set-Dueling epoch length (Sec. IV-C)"),
+    )
+    by = {r["epoch_multiplier"]: r for r in rows}
+    # the paper's epoch choice performs within a few % of the best
+    assert by[1.0]["hits_norm"] > 0.93
+
+
+def test_ablation_migration(benchmark):
+    scale = get_scale()
+    rows = run_once(benchmark, lambda: run_migration_ablation(scale))
+    emit(
+        "ablation_migration",
+        format_records(rows, "Ablation: SRAM->NVM migration (Sec. IV-B)"),
+    )
+    by = {r["migration"]: r for r in rows}
+    assert by["on"]["migrations"] > 0
+    assert by["off"]["migrations"] == 0
+    # migration must not cost hits (it preserves read-reused blocks)
+    assert by["on"]["hits"] >= by["off"]["hits"] * 0.97
+
+
+def test_ablation_compressor(benchmark):
+    scale = get_scale()
+    rows = run_once(benchmark, lambda: run_compressor_ablation(scale))
+    emit(
+        "ablation_compressor",
+        format_records(rows, "Ablation: modified BDI vs FPC (Sec. II-B)"),
+    )
+    by = {r["compressor"]: r for r in rows}
+    # orthogonality: CP_SD remains functional and close under FPC
+    assert by["fpc"]["hits"] > 0.7 * by["bdi"]["hits"]
+    assert by["fpc"]["ipc"] > 0.85 * by["bdi"]["ipc"]

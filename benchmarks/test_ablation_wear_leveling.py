@@ -1,0 +1,27 @@
+"""Wear-leveling strategy ablation (Sec. II-A: "any other mechanism
+could be used") — drives the real rearrangement circuitry.
+
+Expected shape: without leveling the low bytes of every frame absorb
+several times their fair share of writes; the paper's global counter —
+and any other rotation — is near-perfectly even, and no strategy ever
+writes a faulty byte.
+"""
+
+from repro.experiments import format_records, run_wear_leveling_study
+
+from _bench_common import emit, run_once
+
+
+def test_ablation_wear_leveling(benchmark):
+    rows = run_once(benchmark, lambda: run_wear_leveling_study(n_writes=4096))
+    emit(
+        "ablation_wear_leveling",
+        format_records(rows, "Ablation: intra-frame wear-leveling strategies"),
+    )
+    by = {r["strategy"]: r for r in rows}
+    assert by["none"]["imbalance"] > 1.5
+    for name in ("global_counter", "per_frame", "hashed"):
+        assert by[name]["imbalance"] < 1.3
+        assert by[name]["imbalance"] < by["none"]["imbalance"]
+    # the rearrangement circuitry never touches dead bytes
+    assert all(r["dead_bytes_written"] == 0 for r in rows)

@@ -1,0 +1,27 @@
+"""LLC energy comparison (Sec. I/II motivation; TAP's original claim).
+
+Expected shape: the hybrid LLC leaks a fraction of the iso-capacity
+SRAM design; BH spends the most NVM write energy; NVM-aware insertion
+cuts it by an order of magnitude; compression reduces energy per
+write; LHybrid/TAP minimise LLC energy at the cost of IPC.
+"""
+
+from repro.experiments import format_records, get_scale, run_energy_study
+
+from _bench_common import emit, run_once
+
+
+def test_energy_comparison(benchmark):
+    scale = get_scale()
+    rows = run_once(benchmark, lambda: run_energy_study(scale))
+    emit("energy_comparison", format_records(rows, "LLC energy by policy (nJ)"))
+    by = {r["policy"]: r for r in rows}
+    # hybrid leakage is a fraction of the 16-way SRAM LLC's
+    assert by["bh"]["llc_leakage_nj"] < 0.5 * by["sram16 (bound)"]["llc_leakage_nj"]
+    # NVM-aware insertion slashes NVM write energy
+    assert by["lhybrid"]["nvm_write_nj"] < 0.2 * by["bh"]["nvm_write_nj"]
+    assert by["tap"]["nvm_write_nj"] <= by["lhybrid"]["nvm_write_nj"] * 1.6
+    # compression alone reduces write energy at identical traffic
+    assert by["bh_cp"]["nvm_write_nj"] < 0.8 * by["bh"]["nvm_write_nj"]
+    # CP_SD cuts total LLC energy vs the naive hybrid baseline
+    assert by["cp_sd"]["llc_total_nj"] < by["bh"]["llc_total_nj"]

@@ -1,0 +1,54 @@
+"""Figs. 1 and 10a — IPC vs lifetime forecast for all policies.
+
+The flagship result.  Expected shape:
+
+* BH matches the 16-way SRAM upper bound initially (minus NVM latency)
+  but has the shortest lifetime;
+* BH_CP keeps BH's IPC and stretches lifetime ~5x;
+* LHybrid loses ~11 % IPC for ~20x BH lifetime; TAP is below LHybrid's
+  IPC (even more conservative);
+* CP_SD keeps within a few % of BH's IPC at >=10x BH lifetime;
+* CP_SD_Th4 / Th8 trade ~1-2 % IPC for progressively more lifetime.
+"""
+
+from repro.analysis import check_claims, measurements_from_study
+from repro.experiments import format_records, get_scale, run_lifetime_study
+
+from _bench_common import emit, run_once
+
+
+def test_fig1_10a_performance_vs_lifetime(benchmark):
+    scale = get_scale()
+    study = run_once(
+        benchmark, lambda: run_lifetime_study(scale, label="fig10a")
+    )
+    rows = study.rows()
+    for row in rows:
+        row["ipc_vs_bh"] = row["ipc"] / study.initial_ipc("bh")
+    claims = check_claims(measurements_from_study(study))
+    emit(
+        "fig01_10a_lifetime",
+        format_records(rows, "Figs. 1/10a: performance vs lifetime")
+        + f"\nupper bound (16w SRAM) IPC: {study.upper_bound_ipc:.3f}"
+        + f"\nlower bound (4w SRAM) IPC:  {study.lower_bound_ipc:.3f}\n\n"
+        + format_records(claims, "Paper claims vs measured (shape bands)"),
+    )
+    life = {r["policy"]: r["lifetime_x_bh"] for r in rows}
+    ipc = {r["policy"]: r["ipc_vs_bh"] for r in rows}
+
+    # --- performance ordering ---
+    assert ipc["bh_cp"] > 0.97  # compression alone does not cost IPC
+    assert ipc["cp_sd"] > 0.93  # CP_SD near BH (paper: 96.7 %)
+    assert ipc["lhybrid"] < 0.97  # the conservative SOTA loses IPC
+    assert ipc["tap"] <= ipc["lhybrid"] + 0.02
+    assert ipc["cp_sd"] > ipc["lhybrid"]  # the headline claim
+    # bounds bracket the hybrid configurations
+    assert study.upper_bound_ipc >= study.initial_ipc("bh") * 0.98
+    assert study.lower_bound_ipc < study.initial_ipc("cp_sd")
+
+    # --- lifetime ordering ---
+    assert life["bh_cp"] > 1.5  # compression alone extends lifetime
+    assert life["lhybrid"] > 5.0  # conservative insertion: much longer
+    assert life["cp_sd"] > 3.0  # CP_SD far beyond BH (paper: 16.8x)
+    assert life["cp_sd_th4"] > life["cp_sd"] * 0.95
+    assert life["cp_sd_th8"] > life["cp_sd"]  # Th knob buys lifetime

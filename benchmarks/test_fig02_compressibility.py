@@ -1,0 +1,39 @@
+"""Fig. 2 — per-application block compressibility classification.
+
+Expected shape: ~78 % of blocks compressible on average (49 % HCR,
+29 % LCR); GemsFDTD06/zeusmp06 almost fully compressible; xz17/milc06
+fully incompressible.
+"""
+
+from repro.experiments import format_records, run_fig2
+
+from _bench_common import emit, run_once
+
+
+def test_fig2_compressibility(benchmark):
+    rows = run_once(benchmark, lambda: run_fig2(n_blocks=384))
+    records = [
+        {
+            "app": r.app,
+            "hcr": r.hcr,
+            "lcr": r.lcr,
+            "incompressible": r.incompressible,
+        }
+        for r in rows
+    ]
+    emit(
+        "fig2_compressibility",
+        format_records(records, "Fig. 2: block compressibility per application"),
+    )
+    by = {r.app: r for r in rows}
+    # xz17 and milc06 are 100% incompressible (Sec. IV-A)
+    assert by["xz17"].incompressible == 1.0
+    assert by["milc06"].incompressible == 1.0
+    # GemsFDTD06 and zeusmp06 almost fully compressible
+    assert by["GemsFDTD06"].compressible > 0.9
+    assert by["zeusmp06"].compressible > 0.9
+    # library average ~ 49% HCR / 29% LCR / 22% incompressible
+    avg = by["average"]
+    assert 0.40 <= avg.hcr <= 0.60
+    assert 0.18 <= avg.lcr <= 0.40
+    assert 0.12 <= avg.incompressible <= 0.32

@@ -1,0 +1,46 @@
+"""Fig. 6 — normalised LLC hit rate vs CP_th for CA and CA_RWR.
+
+Expected shape: CA's hit rate is lowest for small thresholds and
+peaks around CP_th = 58/64; CA_RWR >= CA for small thresholds; CP_SD
+matches the best fixed threshold.
+"""
+
+import pytest
+
+from repro.experiments import format_records, get_scale, run_cpth_sweep
+
+from _bench_common import emit, run_once
+
+_CACHE = {}
+
+
+def sweep():
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = run_cpth_sweep(get_scale())
+    return _CACHE["sweep"]
+
+
+def test_fig6_hit_rate_vs_cpth(benchmark):
+    result = run_once(benchmark, sweep)
+    records = [
+        {
+            "cpth": c,
+            "ca_hits_norm": result.ca_hit[c],
+            "ca_rwr_hits_norm": result.ca_rwr_hit[c],
+        }
+        for c in result.cpth_values
+    ] + [{"cpth": "CP_SD", "ca_hits_norm": None, "ca_rwr_hits_norm": result.cp_sd_hit}]
+    emit(
+        "fig6_hit_rate_sweep",
+        format_records(records, "Fig. 6: LLC hits vs CP_th (normalised to BH)"),
+    )
+    low = result.cpth_values[0]
+    best_ca = max(result.ca_hit.values())
+    # hit rate improves as the threshold admits more blocks into NVM
+    assert max(result.ca_hit[c] for c in (51, 58, 64)) > result.ca_hit[low]
+    # the peak is near the top of the ladder (58 or 64)
+    assert max(result.ca_hit, key=lambda c: result.ca_hit[c]) >= 51
+    # CP_SD reaches the best fixed threshold's hit count (within noise)
+    assert result.cp_sd_hit >= 0.9 * best_ca
+    # CA_RWR does not collapse for small thresholds the way CA does
+    assert result.ca_rwr_hit[low] >= result.ca_hit[low] * 0.95

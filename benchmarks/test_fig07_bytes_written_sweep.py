@@ -1,0 +1,38 @@
+"""Fig. 7 — normalised NVM bytes written vs CP_th for CA and CA_RWR.
+
+Expected shape: bytes written grow steeply with CP_th (between ~5 %
+and ~80 % of BH); CA_RWR writes significantly less than CA at high
+thresholds; CP_SD writes less than CA_RWR at CP_th = 58/64 while
+keeping their hit rate.
+"""
+
+from repro.experiments import format_records
+
+from _bench_common import emit, run_once
+from test_fig06_hit_rate_sweep import sweep
+
+
+def test_fig7_bytes_written_vs_cpth(benchmark):
+    result = run_once(benchmark, sweep)
+    records = [
+        {
+            "cpth": c,
+            "ca_bytes_norm": result.ca_bytes[c],
+            "ca_rwr_bytes_norm": result.ca_rwr_bytes[c],
+        }
+        for c in result.cpth_values
+    ] + [{"cpth": "CP_SD", "ca_bytes_norm": None, "ca_rwr_bytes_norm": result.cp_sd_bytes}]
+    emit(
+        "fig7_bytes_written_sweep",
+        format_records(records, "Fig. 7: NVM bytes written vs CP_th (normalised to BH)"),
+    )
+    low, high = result.cpth_values[0], result.cpth_values[-1]
+    # more permissive thresholds write more NVM bytes
+    assert result.ca_bytes[high] > result.ca_bytes[low]
+    assert result.ca_rwr_bytes[high] > result.ca_rwr_bytes[low]
+    # everything writes less than BH
+    assert all(v < 1.0 for v in result.ca_bytes.values())
+    # reuse steering cuts writes vs CA at the permissive end
+    assert result.ca_rwr_bytes[high] < result.ca_bytes[high]
+    # CP_SD writes fewer bytes than CA_RWR at CP_th = 64
+    assert result.cp_sd_bytes < result.ca_rwr_bytes[high]

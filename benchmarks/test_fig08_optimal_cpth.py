@@ -1,0 +1,51 @@
+"""Fig. 8 — distribution of the hit-optimal CP_th per epoch.
+
+Expected shape: at 100 % capacity the big thresholds (58/64) win most
+epochs but a non-trivial share prefers smaller values; as the NVM
+capacity decays towards 50 %, the optimum shifts to smaller
+thresholds; the distribution varies strongly across mixes.
+"""
+
+from repro.experiments import format_table, get_scale, run_fig8a, run_fig8b
+
+from _bench_common import emit, run_once
+
+
+def _rows(dists):
+    if not dists:
+        return "(no data)"
+    cpths = sorted(dists[0].shares)
+    headers = ["config"] + [str(c) for c in cpths]
+    rows = [[d.label] + [d.shares[c] for c in cpths] for d in dists]
+    return headers, rows
+
+
+def test_fig8a_optimal_cpth_vs_capacity(benchmark):
+    scale = get_scale()
+    capacities = (100, 80, 60, 50)
+    dists = run_once(
+        benchmark,
+        lambda: run_fig8a(scale, capacities_pct=capacities, mixes=scale.mixes[:2]),
+    )
+    headers, rows = _rows(dists)
+    emit(
+        "fig8a_optimal_cpth_vs_capacity",
+        format_table(headers, rows, "Fig. 8a: share of epochs each CP_th wins"),
+    )
+    by = {d.label: d for d in dists}
+    # smaller thresholds win more often as capacity decays
+    assert by["50%"].share_below(58) >= by["100%"].share_below(58)
+    for d in dists:
+        assert abs(sum(d.shares.values()) - 1.0) < 1e-6
+
+
+def test_fig8b_optimal_cpth_per_mix(benchmark):
+    scale = get_scale()
+    dists = run_once(benchmark, lambda: run_fig8b(scale, mixes=scale.mixes[:3]))
+    headers, rows = _rows(dists)
+    emit(
+        "fig8b_optimal_cpth_per_mix",
+        format_table(headers, rows, "Fig. 8b: per-mix winner distribution (100% cap)"),
+    )
+    for d in dists:
+        assert abs(sum(d.shares.values()) - 1.0) < 1e-6

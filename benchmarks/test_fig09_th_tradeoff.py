@@ -1,0 +1,43 @@
+"""Fig. 9 — CP_SD_Th hit/write trade-off vs Th and NVM capacity.
+
+Expected shape: raising Th reduces NVM bytes written much faster than
+it reduces hits, and relative write savings grow at lower capacity.
+"""
+
+from repro.experiments import format_records, get_scale, run_fig9
+
+from _bench_common import emit, run_once
+
+
+def test_fig9_th_tradeoff(benchmark):
+    scale = get_scale()
+    points = run_once(
+        benchmark,
+        lambda: run_fig9(
+            scale,
+            th_values=(0.0, 4.0, 8.0),
+            capacities_pct=(100, 80),
+            mixes=scale.mixes[:2],
+        ),
+    )
+    records = [
+        {
+            "capacity": f"{p.capacity_pct}%",
+            "Th": p.th,
+            "hits_norm": p.hits_norm,
+            "nvm_bytes_norm": p.nvm_bytes_norm,
+        }
+        for p in points
+    ]
+    emit(
+        "fig9_th_tradeoff",
+        format_records(records, "Fig. 9: hits vs NVM bytes (normalised to BH@100%)"),
+    )
+    by = {(p.capacity_pct, p.th): p for p in points}
+    for pct in (100, 80):
+        th0, th8 = by[(pct, 0.0)], by[(pct, 8.0)]
+        # Th=8 must not cost more hits than it saves writes
+        hit_drop = max(0.0, 1.0 - th8.hits_norm / max(th0.hits_norm, 1e-9))
+        write_drop = 1.0 - th8.nvm_bytes_norm / max(th0.nvm_bytes_norm, 1e-9)
+        assert write_drop >= hit_drop
+        assert hit_drop < 0.10  # the rule only sacrifices a few % of hits

@@ -1,0 +1,50 @@
+"""Fig. 10b — sensitivity to the SRAM/NVM way split (3/13 vs 4/12).
+
+Expected shape: shrinking SRAM to 3 ways slightly lowers IPC for the
+CP_SD-based policies and slightly lengthens lifetime (less read-reuse
+detection => fewer NVM insertions); BH is barely affected.
+"""
+
+from repro.experiments import (
+    SENSITIVITY_POLICIES,
+    format_records,
+    get_scale,
+    run_lifetime_study,
+)
+
+from _bench_common import emit, run_once
+
+
+def _study():
+    scale = get_scale()
+    mixes = scale.mixes[:2]
+    base = run_lifetime_study(
+        scale, label="4/12", mixes=mixes, policies=SENSITIVITY_POLICIES,
+        with_bounds=False,
+    )
+    skewed = run_lifetime_study(
+        scale, label="3/13", mixes=mixes, policies=SENSITIVITY_POLICIES,
+        sram_ways=3, nvm_ways=13, with_bounds=False,
+    )
+    return base, skewed
+
+
+def test_fig10b_way_split(benchmark):
+    base, skewed = run_once(benchmark, _study)
+    records = []
+    for key in base.forecasts:
+        records.append(
+            {
+                "policy": key,
+                "ipc_4_12": base.initial_ipc(key),
+                "ipc_3_13": skewed.initial_ipc(key),
+                "life_mo_4_12": base.lifetime_months(key),
+                "life_mo_3_13": skewed.lifetime_months(key),
+            }
+        )
+    emit("fig10b_way_split", format_records(records, "Fig. 10b: 3/13 vs 4/12 ways"))
+    by = {r["policy"]: r for r in records}
+    # BH is nearly untouched by the SRAM/NVM proportion
+    assert abs(by["bh"]["ipc_3_13"] / by["bh"]["ipc_4_12"] - 1.0) < 0.05
+    # CP_SD loses only a little performance with one less SRAM way
+    assert by["cp_sd"]["ipc_3_13"] > 0.90 * by["cp_sd"]["ipc_4_12"]

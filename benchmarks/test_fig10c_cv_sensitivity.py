@@ -1,0 +1,56 @@
+"""Fig. 10c — sensitivity to endurance variability (cv 0.20 -> 0.25).
+
+Expected shape: higher manufacturing variability drastically shortens
+*frame-disabling* lifetimes (BH, LHybrid — first faults arrive much
+earlier and each kills a whole frame) while *byte-disabling* designs
+barely move (a single early byte death costs 1/64 of a frame).
+"""
+
+from repro.experiments import format_records, get_scale, run_lifetime_study
+
+from _bench_common import emit, run_once
+
+_POLICIES = (
+    ("bh", "bh", {}),
+    ("bh_cp", "bh_cp", {}),
+    ("lhybrid", "lhybrid", {}),
+    ("cp_sd", "cp_sd", {}),
+)
+
+
+def _study():
+    scale = get_scale()
+    mixes = scale.mixes[:2]
+    base = run_lifetime_study(
+        scale, label="cv=0.20", mixes=mixes, policies=_POLICIES, with_bounds=False
+    )
+    high = run_lifetime_study(
+        scale, label="cv=0.25", mixes=mixes, policies=_POLICIES, cv=0.25,
+        with_bounds=False,
+    )
+    return base, high
+
+
+def test_fig10c_cv_sensitivity(benchmark):
+    base, high = run_once(benchmark, _study)
+    records = []
+    for key in base.forecasts:
+        l20, l25 = base.lifetime_months(key), high.lifetime_months(key)
+        records.append(
+            {
+                "policy": key,
+                "life_mo_cv20": l20,
+                "life_mo_cv25": l25,
+                "retained": l25 / l20 if l20 else None,
+            }
+        )
+    emit(
+        "fig10c_cv_sensitivity",
+        format_records(records, "Fig. 10c: lifetime vs endurance cv"),
+    )
+    by = {r["policy"]: r for r in records}
+    # frame-disabling suffers much more than byte-disabling
+    assert by["bh"]["retained"] < by["bh_cp"]["retained"]
+    assert by["lhybrid"]["retained"] < by["cp_sd"]["retained"] + 0.05
+    # byte-disabling retains most of its lifetime
+    assert by["cp_sd"]["retained"] > 0.75

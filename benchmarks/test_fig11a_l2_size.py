@@ -1,0 +1,52 @@
+"""Fig. 11a — sensitivity to L2 size (128 KB -> 256 KB).
+
+Expected shape: a larger L2 raises IPC for everyone and filters write
+traffic from the LLC, lengthening most policies' lifetimes; LHybrid is
+the exception (more SRAM residency => more loop-blocks detected =>
+more NVM insertions), so its lifetime does not improve.
+"""
+
+from repro.experiments import (
+    SENSITIVITY_POLICIES,
+    format_records,
+    get_scale,
+    run_lifetime_study,
+)
+
+from _bench_common import emit, run_once
+
+
+def _study():
+    scale = get_scale()
+    mixes = scale.mixes[:2]
+    base = run_lifetime_study(
+        scale, label="L2=128K", mixes=mixes, policies=SENSITIVITY_POLICIES,
+        with_bounds=False,
+    )
+    big = run_lifetime_study(
+        scale, label="L2=256K", mixes=mixes, policies=SENSITIVITY_POLICIES,
+        l2_kib=256, with_bounds=False,
+    )
+    return base, big
+
+
+def test_fig11a_l2_size(benchmark):
+    base, big = run_once(benchmark, _study)
+    records = []
+    for key in base.forecasts:
+        records.append(
+            {
+                "policy": key,
+                "ipc_128k": base.initial_ipc(key),
+                "ipc_256k": big.initial_ipc(key),
+                "life_mo_128k": base.lifetime_months(key),
+                "life_mo_256k": big.lifetime_months(key),
+            }
+        )
+    emit("fig11a_l2_size", format_records(records, "Fig. 11a: L2 128K vs 256K"))
+    by = {r["policy"]: r for r in records}
+    # a bigger L2 improves overall performance
+    assert by["bh"]["ipc_256k"] > by["bh"]["ipc_128k"]
+    assert by["cp_sd"]["ipc_256k"] > by["cp_sd"]["ipc_128k"]
+    # and filters LLC write traffic for the write-heavy baseline
+    assert by["bh"]["life_mo_256k"] > by["bh"]["life_mo_128k"] * 0.95

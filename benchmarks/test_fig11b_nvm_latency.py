@@ -1,0 +1,51 @@
+"""Fig. 11b — sensitivity to NVM read latency (x1.5 on the D-array).
+
+Expected shape: policies that insert aggressively into NVM (CP_SD*)
+lose slightly more IPC than conservative ones, but nothing drastic —
+the hybrid design's conclusions are latency-robust.
+"""
+
+from repro.experiments import (
+    SENSITIVITY_POLICIES,
+    format_records,
+    get_scale,
+    run_lifetime_study,
+)
+
+from _bench_common import emit, run_once
+
+
+def _study():
+    scale = get_scale()
+    mixes = scale.mixes[:2]
+    base = run_lifetime_study(
+        scale, label="lat x1.0", mixes=mixes, policies=SENSITIVITY_POLICIES,
+        with_bounds=False,
+    )
+    slow = run_lifetime_study(
+        scale, label="lat x1.5", mixes=mixes, policies=SENSITIVITY_POLICIES,
+        nvm_latency_factor=1.5, with_bounds=False,
+    )
+    return base, slow
+
+
+def test_fig11b_nvm_latency(benchmark):
+    base, slow = run_once(benchmark, _study)
+    records = []
+    for key in base.forecasts:
+        ratio = slow.initial_ipc(key) / base.initial_ipc(key)
+        records.append(
+            {
+                "policy": key,
+                "ipc_x1.0": base.initial_ipc(key),
+                "ipc_x1.5": slow.initial_ipc(key),
+                "ratio": ratio,
+            }
+        )
+    emit("fig11b_nvm_latency", format_records(records, "Fig. 11b: NVM latency x1.5"))
+    by = {r["policy"]: r for r in records}
+    # the extra latency costs at most a few percent IPC
+    for r in records:
+        assert r["ratio"] > 0.93
+    # NVM-heavy CP_SD is affected at least as much as conservative LHybrid
+    assert by["cp_sd"]["ratio"] <= by["lhybrid"]["ratio"] + 0.02

@@ -1,0 +1,24 @@
+"""Fig. 11c — equal-storage comparison: CP_SD_Th8 with 12/11/10 NVM
+ways against LHybrid with 12 (frame-disabling needs no byte fault map).
+
+Expected shape: dropping NVM ways costs CP_SD_Th8 some IPC and
+lifetime, but even with 10 ways (5.2 % *less* storage than LHybrid)
+its IPC remains clearly above LHybrid's.
+"""
+
+from repro.experiments import format_records, get_scale, run_fig11c_equal_cost
+
+from _bench_common import emit, run_once
+
+
+def test_fig11c_equal_cost(benchmark):
+    scale = get_scale()
+    rows = run_once(
+        benchmark, lambda: run_fig11c_equal_cost(scale, mixes=scale.mixes[:2])
+    )
+    emit("fig11c_equal_cost", format_records(rows, "Fig. 11c: equal-storage designs"))
+    by = {r["config"]: r for r in rows}
+    # fewer NVM ways => (weakly) lower IPC for the CP_SD design
+    assert by["cp_sd_th8 10w"]["ipc"] <= by["cp_sd_th8 12w"]["ipc"] + 0.02
+    # even the cheapest CP_SD_Th8 outperforms LHybrid's IPC
+    assert by["cp_sd_th8 10w"]["ipc"] > by["lhybrid 12w"]["ipc"]

@@ -1,0 +1,20 @@
+"""Table II — CA_RWR placement rules, queried from the live policy."""
+
+from repro.experiments import format_records, table2_rows
+
+from _bench_common import emit, run_once
+
+
+def test_table2_placement_rules(benchmark):
+    rows = run_once(benchmark, table2_rows)
+    emit("table2_carwr_rules", format_records(rows, "Table II: CA_RWR placement"))
+    by = {(r["reuse"], r["compressed_size"].startswith("small")): r for r in rows}
+    # read-reused -> NVM regardless of size
+    assert by[("read", True)]["target"] == "NVM"
+    assert by[("read", False)]["target"] == "NVM"
+    # write-reused -> SRAM regardless of size
+    assert by[("write", True)]["target"] == "SRAM"
+    assert by[("write", False)]["target"] == "SRAM"
+    # non-reused -> by compressed size
+    assert by[("none", True)]["target"] == "NVM"
+    assert by[("none", False)]["target"] == "SRAM"

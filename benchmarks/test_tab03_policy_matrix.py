@@ -1,0 +1,21 @@
+"""Table III — taxonomy of the evaluated insertion policies."""
+
+from repro.experiments import format_records, table3_rows
+
+from _bench_common import emit, run_once
+
+
+def test_table3_policy_matrix(benchmark):
+    rows = run_once(benchmark, table3_rows)
+    emit("table3_policy_matrix", format_records(rows, "Table III: tested policies"))
+    by = {r["name"].split("cp_sd_th")[0] or "cp_sd_th": r for r in rows}
+    assert by["bh"] == {
+        "name": "bh", "disabling": "frame", "compression": "no", "nvm_aware": "no",
+    }
+    assert by["bh_cp"]["disabling"] == "byte"
+    assert by["bh_cp"]["compression"] == "yes"
+    assert by["lhybrid"]["nvm_aware"] == "yes"
+    assert by["lhybrid"]["disabling"] == "frame"
+    assert by["cp_sd"] == {
+        "name": "cp_sd", "disabling": "byte", "compression": "yes", "nvm_aware": "yes",
+    }

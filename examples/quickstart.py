@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one SPEC mix on the hybrid LLC under CP_SD.
+
+Builds the Table IV system (scaled to laptop size), runs the mix1
+workload under the paper's CP_SD insertion policy, and prints the
+headline statistics: IPC, LLC hit rate, where hits landed (SRAM vs
+NVM), and how many bytes the NVM part absorbed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import make_policy
+from repro.engine import Simulation
+from repro.experiments import get_scale
+
+
+def main() -> None:
+    scale = get_scale("smoke")  # laptop-sized preset (REPRO_SCALE also works)
+    config = scale.system()
+    workload = scale.workload("mix1")
+
+    policy = make_policy("cp_sd")
+    simulation = Simulation(config, policy, workload)
+
+    epoch = config.dueling.epoch_cycles
+    result = simulation.run(cycles=12 * epoch, warmup_cycles=6 * epoch)
+
+    llc = result.stats.llc
+    print(f"simulated {result.cycles / 1e6:.1f}M cycles "
+          f"({result.seconds * 1e3:.2f} ms of machine time)")
+    print(f"mean IPC            : {result.mean_ipc:.3f}")
+    print(f"LLC hit rate        : {llc.hit_rate:.3f} "
+          f"({llc.hits} hits / {llc.accesses} accesses)")
+    print(f"hits in SRAM / NVM  : {llc.hits_sram} / {llc.hits_nvm}")
+    print(f"LLC fills SRAM/NVM  : {llc.fills_sram} / {llc.fills_nvm}")
+    print(f"NVM bytes written   : {llc.nvm_bytes_written}")
+    print(f"SRAM->NVM migrations: {llc.migrations_to_nvm}")
+    print(f"CP_th per epoch     : "
+          f"{[e.winner_cpth for e in result.epochs if e.after_warmup]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Compression-Aware and Performance-Efficient
+Insertion Policies for Long-Lasting Hybrid LLCs" (HPCA 2023).
+
+Public entry points:
+
+* :func:`repro.config.paper_system` — the Table IV system configuration;
+* :class:`repro.engine.Workload` / :class:`repro.engine.Simulation` —
+  trace-driven simulation of one mix under one insertion policy;
+* :func:`repro.core.make_policy` — instantiate any Table III policy
+  (``bh``, ``bh_cp``, ``lhybrid``, ``tap``, ``ca``, ``ca_rwr``,
+  ``cp_sd``, ``cp_sd_th``, ``sram``);
+* :class:`repro.forecast.Forecaster` — the lifetime forecasting
+  procedure producing the paper's IPC-vs-time curves.
+"""
+
+from . import analysis, cache, compression, config, core, forecast, nvm, timing, workloads
+from .config import SystemConfig, paper_system
+from .engine import Simulation, SimulationResult, Workload, run_policy_on_mix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulation",
+    "SimulationResult",
+    "SystemConfig",
+    "Workload",
+    "analysis",
+    "cache",
+    "compression",
+    "config",
+    "core",
+    "forecast",
+    "nvm",
+    "paper_system",
+    "run_policy_on_mix",
+    "timing",
+    "workloads",
+]

@@ -1,0 +1,33 @@
+"""Result analysis: curve resampling, ASCII charts, paper-claim checks."""
+
+from .claims import (
+    Claim,
+    LIFETIME_CLAIMS,
+    check_claims,
+    measurements_from_study,
+)
+from .curves import (
+    Curve,
+    ascii_chart,
+    average_curves,
+    lifetime_table,
+    normalise,
+    resample_capacity,
+    resample_ipc,
+    time_grid,
+)
+
+__all__ = [
+    "Claim",
+    "Curve",
+    "LIFETIME_CLAIMS",
+    "ascii_chart",
+    "average_curves",
+    "check_claims",
+    "lifetime_table",
+    "measurements_from_study",
+    "normalise",
+    "resample_capacity",
+    "resample_ipc",
+    "time_grid",
+]

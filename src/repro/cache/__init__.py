@@ -1,0 +1,32 @@
+"""Cache hierarchy substrate: private caches, hybrid LLC, protocol."""
+
+from .block import BlockMeta, MetadataTable, ReuseClass
+from .cacheset import NVM, PART_NAMES, SRAM, CacheSet
+from .hierarchy import AccessOutcome, Level, MemoryHierarchy
+from .llc import EvictedBlock, HybridLLC, RequestResult
+from .private_cache import PrivateCache
+from .replacement import fit_lru_victim, lru_victim, mru_victim_where
+from .stats import CoreStats, HierarchyStats, LLCStats
+
+__all__ = [
+    "AccessOutcome",
+    "BlockMeta",
+    "CacheSet",
+    "CoreStats",
+    "EvictedBlock",
+    "HierarchyStats",
+    "HybridLLC",
+    "LLCStats",
+    "Level",
+    "MemoryHierarchy",
+    "MetadataTable",
+    "NVM",
+    "PART_NAMES",
+    "PrivateCache",
+    "RequestResult",
+    "ReuseClass",
+    "SRAM",
+    "fit_lru_victim",
+    "lru_victim",
+    "mru_victim_where",
+]

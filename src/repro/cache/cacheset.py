@@ -1,0 +1,124 @@
+"""One set of the hybrid LLC: tags, per-way state, recency order.
+
+Ways ``0 .. sram_ways-1`` are SRAM frames, ways ``sram_ways ..
+total_ways-1`` are NVM frames.  A single recency list per set supports
+both the global LRU of BH/BH_CP and the per-part local LRU of the
+NVM-aware policies (a local LRU is the global order filtered to one
+part, which is exactly how the replacement helpers consume it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .block import ReuseClass
+
+SRAM = 0
+NVM = 1
+PART_NAMES = {SRAM: "sram", NVM: "nvm"}
+
+
+class CacheSet:
+    """Tag/state storage for one LLC set."""
+
+    __slots__ = (
+        "index",
+        "sram_ways",
+        "total_ways",
+        "tags",
+        "dirty",
+        "csize",
+        "ecb",
+        "reuse",
+        "recency",
+        "way_of",
+    )
+
+    def __init__(self, index: int, sram_ways: int, nvm_ways: int) -> None:
+        self.index = index
+        self.sram_ways = sram_ways
+        self.total_ways = sram_ways + nvm_ways
+        n = self.total_ways
+        self.tags: List[Optional[int]] = [None] * n
+        self.dirty: List[bool] = [False] * n
+        self.csize: List[int] = [0] * n      # compressed size of the resident block
+        self.ecb: List[int] = [0] * n        # bytes occupied in the frame
+        self.reuse: List[ReuseClass] = [ReuseClass.NONE] * n
+        self.recency: List[int] = []         # valid ways, LRU first, MRU last
+        self.way_of = {}                     # addr -> way
+
+    # ------------------------------------------------------------------
+    def part_of(self, way: int) -> int:
+        return SRAM if way < self.sram_ways else NVM
+
+    def nvm_way(self, way: int) -> int:
+        """Index of a way within the NVM part (for fault-map lookup)."""
+        if way < self.sram_ways:
+            raise ValueError(f"way {way} is SRAM")
+        return way - self.sram_ways
+
+    def ways_of_part(self, part: int) -> range:
+        if part == SRAM:
+            return range(0, self.sram_ways)
+        return range(self.sram_ways, self.total_ways)
+
+    # ------------------------------------------------------------------
+    def find(self, addr: int) -> Optional[int]:
+        return self.way_of.get(addr)
+
+    def touch(self, way: int) -> None:
+        """Move a way to MRU position."""
+        recency = self.recency
+        if recency and recency[-1] == way:
+            return
+        recency.remove(way)
+        recency.append(way)
+
+    def lru_order(self) -> List[int]:
+        """Valid ways from LRU to MRU (read-only)."""
+        return self.recency
+
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        way: int,
+        addr: int,
+        dirty: bool,
+        csize: int,
+        ecb: int,
+        reuse: ReuseClass,
+    ) -> None:
+        """Place a block in an *empty* way and make it MRU."""
+        if self.tags[way] is not None:
+            raise ValueError(f"way {way} is occupied")
+        self.tags[way] = addr
+        self.dirty[way] = dirty
+        self.csize[way] = csize
+        self.ecb[way] = ecb
+        self.reuse[way] = reuse
+        self.recency.append(way)
+        self.way_of[addr] = way
+
+    def evict(self, way: int) -> Tuple[int, bool, int, ReuseClass]:
+        """Remove the block at ``way``; returns (addr, dirty, csize, reuse)."""
+        addr = self.tags[way]
+        if addr is None:
+            raise ValueError(f"way {way} is empty")
+        info = (addr, self.dirty[way], self.csize[way], self.reuse[way])
+        self.tags[way] = None
+        self.dirty[way] = False
+        self.csize[way] = 0
+        self.ecb[way] = 0
+        self.reuse[way] = ReuseClass.NONE
+        self.recency.remove(way)
+        del self.way_of[addr]
+        return info
+
+    def invalid_way(self, part: int) -> Optional[int]:
+        for way in self.ways_of_part(part):
+            if self.tags[way] is None:
+                return way
+        return None
+
+    def occupancy(self, part: int) -> int:
+        return sum(1 for way in self.ways_of_part(part) if self.tags[way] is not None)

@@ -1,0 +1,206 @@
+"""Non-inclusive multi-core memory hierarchy (Sec. III-A, Fig. 3).
+
+Implements the NVM-friendly mostly-exclusive flow the paper adopts
+from the gem5 MOESI_CMP_directory protocol:
+
+* a miss in all levels fetches the block from memory straight into the
+  private L1/L2 of the requester — the LLC is *not* filled;
+* the victim replaced in L2 (clean or dirty) is sent to the LLC and
+  written there if absent — this is the only LLC fill path;
+* a GetX (write-permission) request that hits the LLC returns the
+  block and invalidates the LLC copy immediately;
+* GetX also invalidates copies in other cores' private caches
+  (directory semantics); a dirty peer copy is forwarded to the
+  requester.  GetS misses in the LLC probe peer L2s before going to
+  memory (cache-to-cache transfer), with the owner keeping its copy.
+
+Multi-programmed mixes never share addresses, so the directory paths
+mostly idle there, but they are implemented and tested so shared
+workloads behave correctly.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List, NamedTuple, Optional
+
+from ..config import SystemConfig
+from ..core.policy import InsertionPolicy
+from .block import MetadataTable
+from .cacheset import NVM, SRAM
+from .llc import HybridLLC, SizeFn
+from .private_cache import PrivateCache
+from .stats import HierarchyStats
+
+
+class Level(IntEnum):
+    """Where an access was serviced (drives the latency model)."""
+
+    L1 = 0
+    L2 = 1
+    LLC_SRAM = 2
+    LLC_NVM = 3
+    PEER = 4       # cache-to-cache transfer from another core's L2
+    MEMORY = 5
+
+
+class AccessOutcome(NamedTuple):
+    level: Level
+    llc_hit: bool
+
+
+class MemoryHierarchy:
+    """Private L1D/L2 per core + shared hybrid LLC + flat main memory."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: InsertionPolicy,
+        size_fn: Optional[SizeFn] = None,
+    ) -> None:
+        self.config = config
+        n_cores = config.cores.n_cores
+        self.l1: List[PrivateCache] = [PrivateCache(config.l1) for _ in range(n_cores)]
+        self.l2: List[PrivateCache] = [PrivateCache(config.l2) for _ in range(n_cores)]
+        self.meta = MetadataTable()
+        self.llc = HybridLLC(config, policy, size_fn=size_fn)
+        self.stats = HierarchyStats(llc=self.llc.stats)
+        for core in range(n_cores):
+            self.stats.core(core)
+        self.llc.on_block_to_memory = self._on_llc_eviction_to_memory
+
+    # ------------------------------------------------------------------
+    def access(self, core: int, addr: int, is_write: bool) -> AccessOutcome:
+        """One demand access from a core; returns where it was serviced."""
+        core_stats = self.stats.core(core)
+        core_stats.accesses += 1
+
+        r1 = self.l1[core].lookup(addr, is_write)
+        if r1:
+            core_stats.l1_hits += 1
+            if r1 == PrivateCache.HIT_UPGRADE:
+                self._upgrade(core, addr)
+            return AccessOutcome(Level.L1, False)
+
+        l2 = self.l2[core]
+        if l2.lookup(addr, is_write=False):
+            core_stats.l2_hits += 1
+            if is_write and not l2.is_dirty(addr):
+                # store to a clean L2 line: acquire write permission
+                self._upgrade(core, addr)
+            self._fill_l1(core, addr, dirty=is_write)
+            return AccessOutcome(Level.L2, False)
+
+        # L2 miss: issue GetS/GetX to the shared LLC (directory home).
+        is_getx = is_write
+        result = self.llc.request(addr, is_getx, self.meta)
+        # GetX revokes peer copies; a dirty peer copy is forwarded.
+        peer_dirty = self._snoop_peers(core, addr) if is_getx else None
+
+        if result.hit:
+            core_stats.llc_hits += 1
+            # On GetX the (possibly dirty) block moved out of the LLC
+            # into the requester's L2; on GetS the L2 copy is clean.
+            l2_dirty = (result.dirty or bool(peer_dirty)) if result.invalidated else False
+            self._fill_l2(core, addr, dirty=l2_dirty)
+            self._fill_l1(core, addr, dirty=is_write)
+            level = Level.LLC_SRAM if result.part == SRAM else Level.LLC_NVM
+            return AccessOutcome(level, True)
+
+        # LLC miss: try a cache-to-cache transfer from a peer L2 (on
+        # GetX the snoop above already found and revoked any peer copy).
+        if peer_dirty is None and not is_getx:
+            peer_dirty = self._probe_peers(core, addr)
+        if peer_dirty is not None:
+            self._fill_l2(core, addr, dirty=peer_dirty if is_getx else False)
+            self._fill_l1(core, addr, dirty=is_write)
+            return AccessOutcome(Level.PEER, False)
+
+        # Memory fetch straight into the private levels (non-inclusive).
+        core_stats.memory_accesses += 1
+        self.stats.memory_reads += 1
+        self._fill_l2(core, addr, dirty=False)
+        self._fill_l1(core, addr, dirty=is_write)
+        self.meta.get_or_create(addr)  # enters the hierarchy untagged (NLB)
+        return AccessOutcome(Level.MEMORY, False)
+
+    # ------------------------------------------------------------------
+    def _fill_l1(self, core: int, addr: int, dirty: bool) -> None:
+        victim = self.l1[core].fill(addr, dirty)
+        if victim is not None:
+            v_addr, v_dirty = victim
+            # Write back into L2; if L2 no longer holds it (inclusion is
+            # not enforced), the refill may spill an L2 victim to the LLC.
+            if self.l2[core].contains(v_addr):
+                if v_dirty:
+                    self.l2[core].set_dirty(v_addr)
+            else:
+                self._fill_l2(core, v_addr, dirty=v_dirty)
+
+    def _fill_l2(self, core: int, addr: int, dirty: bool) -> None:
+        victim = self.l2[core].fill(addr, dirty)
+        if victim is not None:
+            v_addr, v_dirty = victim
+            self.llc.fill_from_l2(v_addr, v_dirty, self.meta)
+
+    def _upgrade(self, core: int, addr: int) -> None:
+        """GetX/Upgrade for a store that hit a clean private line.
+
+        Invalidates the (now stale) LLC copy — the invalidate-on-hit
+        rule of Sec. III-A — and revokes any shared peer copies.  The
+        request is off the critical path (store buffer), so no latency
+        is charged.
+        """
+        self.llc.upgrade(addr, self.meta)
+        self._snoop_peers(core, addr)
+
+    # ------------------------------------------------------------------
+    def _snoop_peers(self, requester: int, addr: int) -> Optional[bool]:
+        """GetX: revoke all other cores' copies; returns the dirtiness of
+        a found copy (forwarded to the requester), or None if no peer
+        held the block."""
+        found: Optional[bool] = None
+        for core, (l1, l2) in enumerate(zip(self.l1, self.l2)):
+            if core == requester:
+                continue
+            present1, dirty1 = l1.invalidate(addr)
+            present2, dirty2 = l2.invalidate(addr)
+            if present1 or present2:
+                self.stats.coherence_invalidations += 1
+                found = bool(found) or dirty1 or dirty2
+        return found
+
+    def _probe_peers(self, requester: int, addr: int) -> Optional[bool]:
+        """GetS cache-to-cache probe: the owner keeps its copy (O/S
+        states) and forwards the data; returns its dirtiness if found."""
+        for core, l2 in enumerate(self.l2):
+            if core == requester:
+                continue
+            if l2.contains(addr):
+                return l2.is_dirty(addr)
+        return None
+
+    # ------------------------------------------------------------------
+    def _on_llc_eviction_to_memory(self, addr: int) -> None:
+        """Drop the block tag once no hierarchy copy remains."""
+        for l1, l2 in zip(self.l1, self.l2):
+            if l1.contains(addr) or l2.contains(addr):
+                return
+        self.meta.drop(addr)
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero all counters (end of warm-up) without touching contents."""
+        n_cores = self.config.cores.n_cores
+        new = HierarchyStats()
+        self.llc.stats = new.llc
+        self.stats = new
+        for core in range(n_cores):
+            self.stats.core(core)
+        for cache in (*self.l1, *self.l2):
+            cache.hits = 0
+            cache.misses = 0
+        self.llc.wear.reset()
+
+    def end_epoch(self) -> None:
+        self.llc.end_epoch()

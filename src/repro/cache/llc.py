@@ -1,0 +1,336 @@
+"""The shared hybrid SRAM/NVM last-level cache (Sec. III).
+
+The LLC owns the set array, the NVM fault map, the wear tracker and
+the statistics; all *decisions* (where to insert, which victim, when
+to migrate) are delegated to the bound insertion policy.  Protocol
+behaviour implemented here (Sec. III-A):
+
+* non-inclusive / mostly-exclusive: the LLC is only filled by L2
+  evictions (``fill_from_l2``); demand misses bypass it;
+* GetX requests that hit invalidate the LLC copy immediately
+  (invalidate-on-hit), handing the block — and responsibility for its
+  dirty data — back to the private levels;
+* a dirty L2 eviction that finds a stale resident copy updates it in
+  place (one frame write); a clean one is dropped silently.
+
+Fault-awareness: frames are usable for a block only if their effective
+capacity (live bytes, from the fault map) can hold its extended
+compressed block; non-compressing policies need the full 64 bytes.
+Every NVM frame write is charged to the wear tracker with the number
+of bytes the rearrangement circuitry would actually write.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple, Optional, Tuple
+
+from ..config import SystemConfig
+from ..core.policy import GLOBAL, FillContext, InsertionPolicy
+from ..nvm.faultmap import FaultMap
+from ..nvm.wear import WearTracker
+from .block import MetadataTable, ReuseClass
+from .cacheset import NVM, SRAM, CacheSet
+from .replacement import usable_invalid_way
+from .stats import LLCStats
+
+SizeFn = Callable[[int], Tuple[int, int]]
+"""``size_fn(addr) -> (compressed_size, ecb_size)`` from the data model."""
+
+
+class EvictedBlock(NamedTuple):
+    """A block removed from the LLC by replacement."""
+
+    addr: int
+    dirty: bool
+    csize: int
+    reuse: ReuseClass
+    part: int
+
+
+class RequestResult(NamedTuple):
+    """Outcome of an L2-originated GetS/GetX request."""
+
+    hit: bool
+    part: Optional[int]      # SRAM or NVM on a hit
+    dirty: bool              # resident copy was dirty (GetX takes it over)
+    invalidated: bool        # GetX invalidate-on-hit fired
+
+
+class HybridLLC:
+    """One shared hybrid LLC (all banks; sets are bank-interleaved)."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: InsertionPolicy,
+        size_fn: Optional[SizeFn] = None,
+        stats: Optional[LLCStats] = None,
+    ) -> None:
+        geom = config.llc
+        self.config = config
+        self.geom = geom
+        self.policy = policy
+        self.block_size = geom.block_size
+        self.n_sets = geom.n_sets
+        self._set_mask = geom.n_sets - 1
+        self.sets: List[CacheSet] = [
+            CacheSet(i, geom.sram_ways, geom.nvm_ways) for i in range(geom.n_sets)
+        ]
+        self.faultmap = FaultMap(
+            geom.n_sets, geom.nvm_ways, geom.block_size, policy.granularity
+        )
+        self.wear = WearTracker(geom.n_sets, geom.nvm_ways)
+        self.stats = stats if stats is not None else LLCStats()
+        self._size_fn = size_fn
+        #: called with (addr,) when a block leaves the LLC toward memory;
+        #: the hierarchy uses it to garbage-collect block metadata.
+        self.on_block_to_memory: Optional[Callable[[int], None]] = None
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def set_of(self, addr: int) -> CacheSet:
+        return self.sets[addr & self._set_mask]
+
+    def bank_of(self, addr: int) -> int:
+        """Bank an address maps to (sets are interleaved across banks)."""
+        return (addr & self._set_mask) % self.geom.n_banks
+
+    def sizes_of(self, addr: int) -> Tuple[int, int]:
+        """(compressed size, ECB size) the LLC would store for ``addr``."""
+        if not self.policy.compressed or self._size_fn is None:
+            return self.block_size, self.block_size
+        return self._size_fn(addr)
+
+    def capacity_of(self, cache_set: CacheSet, way: int) -> int:
+        """Effective capacity of a frame: 64 for SRAM, fault-map for NVM."""
+        if way < cache_set.sram_ways:
+            return self.block_size
+        return int(
+            self.faultmap.capacities[cache_set.index, way - cache_set.sram_ways]
+        )
+
+    def contains(self, addr: int) -> bool:
+        return self.set_of(addr).find(addr) is not None
+
+    # ------------------------------------------------------------------
+    # request path (L2 miss -> GetS / GetX)
+    # ------------------------------------------------------------------
+    def request(
+        self, addr: int, is_getx: bool, meta_table: MetadataTable
+    ) -> RequestResult:
+        cache_set = self.set_of(addr)
+        stats = self.stats
+        if is_getx:
+            stats.getx += 1
+        else:
+            stats.gets += 1
+        way = cache_set.find(addr)
+        if way is None:
+            return RequestResult(False, None, False, False)
+
+        part = cache_set.part_of(way)
+        copy_dirty = cache_set.dirty[way]
+        meta = meta_table.classify_llc_hit(addr, is_getx, copy_dirty)
+        cache_set.reuse[way] = meta.reuse
+        if is_getx:
+            stats.getx_hits += 1
+        else:
+            stats.gets_hits += 1
+        if part == SRAM:
+            stats.hits_sram += 1
+        else:
+            stats.hits_nvm += 1
+        self.policy.on_hit(cache_set, way, is_getx)
+
+        if is_getx:
+            # Invalidate-on-hit: the block (with its dirty data) moves to
+            # the requester; no memory writeback happens here.
+            cache_set.evict(way)
+            return RequestResult(True, part, copy_dirty, True)
+        cache_set.touch(way)
+        return RequestResult(True, part, copy_dirty, False)
+
+    def upgrade(self, addr: int, meta_table: MetadataTable) -> bool:
+        """A store hit a clean private line: acquire write permission.
+
+        Behaves like a GetX for the directory state — if the LLC holds
+        a copy it is invalidated (the requester already has the data)
+        and the block is classified as write-reused.  Returns True if a
+        copy was invalidated.
+        """
+        cache_set = self.set_of(addr)
+        self.stats.upgrades += 1
+        way = cache_set.find(addr)
+        if way is None:
+            return False
+        self.stats.upgrade_hits += 1
+        meta_table.classify_llc_hit(addr, True, cache_set.dirty[way])
+        cache_set.evict(way)
+        return True
+
+    # ------------------------------------------------------------------
+    # fill path (L2 eviction)
+    # ------------------------------------------------------------------
+    def fill_from_l2(self, addr: int, dirty: bool, meta_table: MetadataTable) -> None:
+        cache_set = self.set_of(addr)
+        stats = self.stats
+        way = cache_set.find(addr)
+        if way is not None:
+            if dirty:
+                cache_set.dirty[way] = True
+                cache_set.touch(way)
+                self._charge_write(cache_set, way, cache_set.ecb[way])
+                stats.updates_in_place += 1
+            else:
+                cache_set.touch(way)
+                stats.silent_drops += 1
+            return
+
+        meta = meta_table.get(addr)
+        reuse = meta.reuse if meta is not None else ReuseClass.NONE
+        csize, ecb = self.sizes_of(addr)
+        ctx = FillContext(addr, dirty, csize, ecb, reuse, cache_set.index)
+        stats.fills += 1
+        self._insert(cache_set, ctx, migrating=False)
+
+    # ------------------------------------------------------------------
+    def _insert(
+        self,
+        cache_set: CacheSet,
+        ctx: FillContext,
+        migrating: bool,
+        parts: Optional[Tuple[int, ...]] = None,
+    ) -> bool:
+        """Generic insertion: try parts in order, evict, write, account."""
+        stats = self.stats
+        if parts is None:
+            parts = self.policy.placement(cache_set, ctx)
+        for part in parts:
+            way = self._slot_for(cache_set, part, ctx)
+            if way is None:
+                continue
+            if cache_set.tags[way] is not None:
+                victim_part = cache_set.part_of(way)
+                addr, v_dirty, v_csize, v_reuse = cache_set.evict(way)
+                stats.evictions += 1
+                self._retire(
+                    cache_set,
+                    EvictedBlock(addr, v_dirty, v_csize, v_reuse, victim_part),
+                    migrating,
+                )
+            cache_set.insert(way, ctx.addr, ctx.dirty, ctx.csize, ctx.ecb, ctx.reuse)
+            self._charge_write(cache_set, way, ctx.ecb)
+            if cache_set.part_of(way) == SRAM:
+                stats.fills_sram += 1
+            else:
+                stats.fills_nvm += 1
+            if migrating:
+                stats.migrations_to_nvm += 1
+            return True
+
+        # No usable frame anywhere the policy allowed.
+        if migrating:
+            # Failed migration: the caller still owns the victim and
+            # will write it back; charging memory here would double it.
+            return False
+        stats.bypasses += 1
+        self._to_memory(ctx.addr, ctx.dirty)
+        return False
+
+    def _slot_for(
+        self, cache_set: CacheSet, part: int, ctx: FillContext
+    ) -> Optional[int]:
+        if part == GLOBAL:
+            for p in (SRAM, NVM):
+                way = usable_invalid_way(cache_set, p, ctx.ecb, self.capacity_of)
+                if way is not None:
+                    return way
+        else:
+            way = usable_invalid_way(cache_set, part, ctx.ecb, self.capacity_of)
+            if way is not None:
+                return way
+        return self.policy.choose_victim(cache_set, part, ctx)
+
+    def _retire(
+        self, cache_set: CacheSet, victim: EvictedBlock, migrating: bool
+    ) -> None:
+        """Dispose of a replacement victim: migrate or send to memory."""
+        if (
+            victim.part == SRAM
+            and not migrating
+            and self.policy.handle_sram_eviction(cache_set, victim)
+        ):
+            return
+        self._to_memory(victim.addr, victim.dirty)
+
+    def _to_memory(self, addr: int, dirty: bool) -> None:
+        if dirty:
+            self.stats.writebacks_to_memory += 1
+        if self.on_block_to_memory is not None:
+            self.on_block_to_memory(addr)
+
+    def migrate_to_nvm(self, cache_set: CacheSet, victim: EvictedBlock) -> bool:
+        """Insert an SRAM victim into the NVM part (policy helper).
+
+        Used by CA_RWR-style migration and LHybrid's loop-block
+        replacement.  Returns True if the block found an NVM frame; on
+        failure the caller's victim falls through to memory.
+        """
+        csize, ecb = self.sizes_of(victim.addr)
+        ctx = FillContext(
+            victim.addr, victim.dirty, csize, ecb, victim.reuse, cache_set.index
+        )
+        return self._insert(cache_set, ctx, migrating=True, parts=(NVM,))
+
+    # ------------------------------------------------------------------
+    def _charge_write(self, cache_set: CacheSet, way: int, n_bytes: int) -> None:
+        stats = self.stats
+        if way < cache_set.sram_ways:
+            stats.sram_writes += 1
+            return
+        nvm_way = way - cache_set.sram_ways
+        self.wear.record_write(cache_set.index, nvm_way, n_bytes)
+        stats.nvm_writes += 1
+        stats.nvm_bytes_written += n_bytes
+        self.policy.on_nvm_write(cache_set.index, n_bytes)
+
+    # ------------------------------------------------------------------
+    def end_epoch(self) -> None:
+        """Propagate an epoch boundary to the policy (Set Dueling)."""
+        self.policy.end_epoch()
+
+    def reconcile_faults(self) -> int:
+        """Evict blocks whose frame can no longer hold them.
+
+        Called by the forecaster after aging the fault map: a frame
+        that lost bytes (or died, under frame-disabling) while holding
+        a block loses that block — dirty data is written back to
+        memory.  Returns the number of evictions.
+        """
+        evicted = 0
+        for cache_set in self.sets:
+            for way in range(cache_set.sram_ways, cache_set.total_ways):
+                if cache_set.tags[way] is None:
+                    continue
+                if cache_set.ecb[way] > self.capacity_of(cache_set, way):
+                    addr, dirty, _csize, _reuse = cache_set.evict(way)
+                    self._to_memory(addr, dirty)
+                    evicted += 1
+        return evicted
+
+    def flush(self) -> None:
+        """Drop all resident blocks (dirty ones count as writebacks)."""
+        for cache_set in self.sets:
+            for way in list(cache_set.lru_order()):
+                addr, dirty, _csize, _reuse = cache_set.evict(way)
+                self._to_memory(addr, dirty)
+
+    def resident_blocks(self) -> List[int]:
+        return [addr for s in self.sets for addr in s.way_of]
+
+    def occupancy_fraction(self) -> float:
+        total = self.n_sets * self.geom.total_ways
+        used = sum(len(s.way_of) for s in self.sets)
+        return used / total if total else 0.0

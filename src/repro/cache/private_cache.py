@@ -1,0 +1,96 @@
+"""Private set-associative write-back caches (L1D, L2) with LRU.
+
+These caches filter the core reference stream before it reaches the
+shared LLC; their organisation follows Table IV.  Implementation note:
+per-set storage is a plain dict from block address to dirty flag —
+Python dicts preserve insertion order, so the first key is the LRU
+entry and re-inserting a key on every hit maintains recency with O(1)
+operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CacheGeometry
+
+Victim = Tuple[int, bool]  # (block address, dirty)
+
+
+class PrivateCache:
+    """One private cache level, addressed by block address."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.n_sets = geometry.n_sets
+        self.ways = geometry.ways
+        self._set_mask = self.n_sets - 1
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, addr: int) -> Dict[int, bool]:
+        return self._sets[addr & self._set_mask]
+
+    # lookup() return codes
+    MISS = 0
+    HIT = 1
+    HIT_UPGRADE = 2  # a store turned a clean line dirty (needs GetX/Upgrade)
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int, is_write: bool = False) -> int:
+        """Access the cache; on a hit, update recency (and dirty).
+
+        Returns ``MISS``/``HIT``/``HIT_UPGRADE``; the upgrade code tells
+        the hierarchy that write permission must be acquired from the
+        directory (the line was clean before this store).
+        """
+        entries = self._set_for(addr)
+        if addr in entries:
+            was_dirty = entries.pop(addr)
+            entries[addr] = was_dirty or is_write
+            self.hits += 1
+            if is_write and not was_dirty:
+                return self.HIT_UPGRADE
+            return self.HIT
+        self.misses += 1
+        return self.MISS
+
+    def fill(self, addr: int, dirty: bool) -> Optional[Victim]:
+        """Insert a block, returning the evicted victim if the set spilled."""
+        entries = self._set_for(addr)
+        if addr in entries:
+            # Refresh an existing copy (e.g. writeback from an inner level).
+            entries[addr] = entries.pop(addr) or dirty
+            return None
+        victim: Optional[Victim] = None
+        if len(entries) >= self.ways:
+            v_addr = next(iter(entries))
+            victim = (v_addr, entries.pop(v_addr))
+        entries[addr] = dirty
+        return victim
+
+    def set_dirty(self, addr: int) -> None:
+        entries = self._set_for(addr)
+        if addr in entries:
+            entries[addr] = True
+
+    def contains(self, addr: int) -> bool:
+        return addr in self._set_for(addr)
+
+    def is_dirty(self, addr: int) -> bool:
+        return self._set_for(addr).get(addr, False)
+
+    def invalidate(self, addr: int) -> Tuple[bool, bool]:
+        """Remove a block; returns (was_present, was_dirty)."""
+        entries = self._set_for(addr)
+        if addr in entries:
+            return True, entries.pop(addr)
+        return False, False
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_blocks(self) -> List[int]:
+        return [addr for entries in self._sets for addr in entries]

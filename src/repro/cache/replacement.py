@@ -1,0 +1,69 @@
+"""Replacement helpers: LRU and fit-LRU victim selection (Sec. III-B1).
+
+Fit-LRU [18] picks the least-recently-used block among those occupying
+frames whose *effective capacity* (live bytes) is at least the size of
+the incoming extended compressed block; plain LRU is the special case
+where every candidate frame fits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .cacheset import NVM, SRAM, CacheSet
+
+CapacityFn = Callable[[CacheSet, int], int]
+"""``capacity(set, way)`` — live bytes of a frame (64 for SRAM)."""
+
+
+def lru_victim(cache_set: CacheSet, ways: Sequence[int]) -> Optional[int]:
+    """LRU-ordered first valid way within ``ways``."""
+    allowed = set(ways)
+    for way in cache_set.lru_order():
+        if way in allowed:
+            return way
+    return None
+
+
+def fit_lru_victim(
+    cache_set: CacheSet,
+    ways: Sequence[int],
+    ecb_size: int,
+    capacity_of: CapacityFn,
+) -> Optional[int]:
+    """LRU block among frames in ``ways`` that can hold ``ecb_size`` bytes."""
+    allowed = set(ways)
+    for way in cache_set.lru_order():
+        if way in allowed and capacity_of(cache_set, way) >= ecb_size:
+            return way
+    return None
+
+
+def usable_invalid_way(
+    cache_set: CacheSet,
+    part: int,
+    ecb_size: int,
+    capacity_of: CapacityFn,
+) -> Optional[int]:
+    """First empty frame of a part with enough live bytes."""
+    for way in cache_set.ways_of_part(part):
+        if cache_set.tags[way] is None and capacity_of(cache_set, way) >= ecb_size:
+            return way
+    return None
+
+
+def mru_victim_where(
+    cache_set: CacheSet,
+    ways: Sequence[int],
+    predicate: Callable[[int], bool],
+) -> Optional[int]:
+    """Most-recently-used way within ``ways`` satisfying ``predicate``.
+
+    LHybrid's SRAM replacement migrates "the most recent LB, in LRU
+    order" to the NVM part; this helper finds that block.
+    """
+    allowed = set(ways)
+    for way in reversed(cache_set.lru_order()):
+        if way in allowed and predicate(way):
+            return way
+    return None

@@ -1,0 +1,97 @@
+"""Statistics counters for the hierarchy and the hybrid LLC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List
+
+
+@dataclass
+class LLCStats:
+    """Counters the LLC maintains; the paper's metrics derive from these."""
+
+    gets: int = 0
+    getx: int = 0
+    gets_hits: int = 0
+    getx_hits: int = 0
+    upgrades: int = 0
+    upgrade_hits: int = 0
+    hits_sram: int = 0
+    hits_nvm: int = 0
+    fills: int = 0
+    fills_sram: int = 0
+    fills_nvm: int = 0
+    bypasses: int = 0
+    updates_in_place: int = 0
+    silent_drops: int = 0
+    migrations_to_nvm: int = 0
+    evictions: int = 0
+    writebacks_to_memory: int = 0
+    nvm_writes: int = 0
+    nvm_bytes_written: int = 0
+    sram_writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.gets + self.getx
+
+    @property
+    def hits(self) -> int:
+        return self.gets_hits + self.getx_hits
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def delta_since(self, snap: Dict[str, int]) -> Dict[str, int]:
+        return {k: getattr(self, k) - v for k, v in snap.items()}
+
+
+@dataclass
+class CoreStats:
+    """Per-core counters of the analytical core model."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_hits: int = 0
+    memory_accesses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics of one simulation run."""
+
+    llc: LLCStats = field(default_factory=LLCStats)
+    cores: List[CoreStats] = field(default_factory=list)
+    memory_reads: int = 0
+    memory_writes: int = 0
+    coherence_invalidations: int = 0
+
+    def core(self, core_id: int) -> CoreStats:
+        while len(self.cores) <= core_id:
+            self.cores.append(CoreStats())
+        return self.cores[core_id]
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(c.instructions for c in self.cores)
+
+    @property
+    def mean_ipc(self) -> float:
+        """Arithmetic mean of per-core IPCs (the paper's workload IPC)."""
+        ipcs = [c.ipc for c in self.cores if c.cycles]
+        return sum(ipcs) / len(ipcs) if ipcs else 0.0

@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``      — registered policies, mixes, applications, scales
+``simulate``  — run one mix under one policy, print the statistics
+``forecast``  — lifetime forecast for one or more policies on a mix
+``figure``    — regenerate one of the paper's tables/figures
+``ablation``  — run one of the design-choice ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import make_policy, registered_policies
+from .engine import Simulation
+from .experiments import (
+    format_records,
+    get_scale,
+    run_compressor_ablation,
+    run_cpth_sweep,
+    run_energy_study,
+    run_epoch_size_sweep,
+    run_fig2,
+    run_fig8a,
+    run_fig9,
+    run_fig11c_equal_cost,
+    run_lifetime_study,
+    run_migration_ablation,
+    run_wear_leveling_study,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+from .forecast import SECONDS_PER_MONTH, Forecaster
+from .workloads import APP_NAMES, MIX_NAMES
+
+
+def _policy_args(value: str):
+    """Parse ``name`` or ``name:key=val,key=val`` policy specs."""
+    if ":" not in value:
+        return value, {}
+    name, _, raw = value.partition(":")
+    kwargs = {}
+    for pair in raw.split(","):
+        key, _, val = pair.partition("=")
+        try:
+            kwargs[key] = int(val)
+        except ValueError:
+            kwargs[key] = float(val)
+    return name, kwargs
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("policies:", ", ".join(registered_policies()))
+    print("mixes   :", ", ".join(MIX_NAMES))
+    print("apps    :", ", ".join(APP_NAMES))
+    print("scales  : smoke, default, full, paper  (env REPRO_SCALE)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    config = scale.system()
+    name, kwargs = _policy_args(args.policy)
+    policy = make_policy(name, **kwargs)
+    workload = scale.workload(args.mix, seed=args.seed)
+    sim = Simulation(config, policy, workload)
+    epoch = config.dueling.epoch_cycles
+    result = sim.run(
+        cycles=epoch * (args.warmup_epochs + args.epochs),
+        warmup_cycles=epoch * args.warmup_epochs,
+    )
+    llc = result.stats.llc
+    rows = [
+        {"metric": "mean IPC", "value": result.mean_ipc},
+        {"metric": "LLC hit rate", "value": llc.hit_rate},
+        {"metric": "LLC accesses", "value": llc.accesses},
+        {"metric": "hits SRAM / NVM", "value": f"{llc.hits_sram} / {llc.hits_nvm}"},
+        {"metric": "fills SRAM / NVM", "value": f"{llc.fills_sram} / {llc.fills_nvm}"},
+        {"metric": "NVM bytes written", "value": llc.nvm_bytes_written},
+        {"metric": "migrations to NVM", "value": llc.migrations_to_nvm},
+        {"metric": "memory writebacks", "value": llc.writebacks_to_memory},
+    ]
+    print(format_records(rows, f"{name} on {args.mix} ({scale.name} scale)"))
+    return 0
+
+
+def cmd_forecast(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    config = scale.system()
+    epoch = config.dueling.epoch_cycles
+    rows = []
+    baseline_seconds = None
+    for spec in args.policies:
+        name, kwargs = _policy_args(spec)
+        policy = make_policy(name, **kwargs)
+        forecaster = Forecaster(
+            config,
+            policy,
+            scale.workload(args.mix, seed=args.seed),
+            phase_cycles=epoch * 3,
+            initial_warmup_cycles=epoch * 10,
+            rewarm_cycles=epoch * 0.75,
+            capacity_step=0.1,
+            max_steps=scale.forecast_max_steps,
+        )
+        result = forecaster.run()
+        seconds = result.lifetime_or_horizon_seconds()
+        if baseline_seconds is None:
+            baseline_seconds = seconds
+        rows.append(
+            {
+                "policy": spec,
+                "initial_ipc": result.initial_ipc,
+                "lifetime_months": seconds / SECONDS_PER_MONTH,
+                "vs_first": seconds / baseline_seconds,
+                "hit_50pct": "yes" if result.reached_stop else "plateau",
+            }
+        )
+    print(format_records(rows, f"Lifetime forecast on {args.mix}"))
+    return 0
+
+
+_FIGURES = {
+    "table1": lambda scale: format_records(table1_rows(), "Table I"),
+    "table2": lambda scale: format_records(table2_rows(), "Table II"),
+    "table3": lambda scale: format_records(table3_rows(), "Table III"),
+    "table4": lambda scale: format_records(table4_rows(), "Table IV"),
+    "table5": lambda scale: format_records(table5_rows(), "Table V"),
+    "fig2": lambda scale: format_records(
+        [r.__dict__ for r in run_fig2(n_blocks=256)], "Fig. 2"
+    ),
+    "fig6": lambda scale: format_records(run_cpth_sweep(scale).rows(), "Figs. 6/7"),
+    "fig8a": lambda scale: format_records(
+        [{"config": d.label, **{str(k): v for k, v in d.shares.items()}}
+         for d in run_fig8a(scale, capacities_pct=(100, 80, 60, 50),
+                            mixes=scale.mixes[:2])],
+        "Fig. 8a",
+    ),
+    "fig9": lambda scale: format_records(
+        [p.__dict__ for p in run_fig9(scale, th_values=(0.0, 4.0, 8.0),
+                                      capacities_pct=(100, 80),
+                                      mixes=scale.mixes[:2])],
+        "Fig. 9",
+    ),
+    "fig10a": lambda scale: format_records(
+        run_lifetime_study(scale, label="fig10a").rows(), "Fig. 10a"
+    ),
+    "fig11c": lambda scale: format_records(
+        run_fig11c_equal_cost(scale, mixes=scale.mixes[:2]), "Fig. 11c"
+    ),
+}
+
+_ABLATIONS = {
+    "epoch": run_epoch_size_sweep,
+    "migration": run_migration_ablation,
+    "compressor": run_compressor_ablation,
+    "wear_leveling": lambda scale: run_wear_leveling_study(),
+    "energy": run_energy_study,
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    try:
+        runner = _FIGURES[args.id]
+    except KeyError:
+        print(f"unknown figure {args.id!r}; choose from {sorted(_FIGURES)}")
+        return 2
+    print(runner(scale))
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    try:
+        runner = _ABLATIONS[args.id]
+    except KeyError:
+        print(f"unknown ablation {args.id!r}; choose from {sorted(_ABLATIONS)}")
+        return 2
+    print(format_records(runner(scale), f"ablation: {args.id}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid-LLC compression-aware insertion policies (HPCA'23)",
+    )
+    parser.add_argument("--scale", default=None,
+                        help="smoke | default | full | paper (default: env)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list policies, mixes, apps").set_defaults(
+        func=cmd_list
+    )
+
+    p = sub.add_parser("simulate", help="run one mix under one policy")
+    p.add_argument("--mix", default="mix1")
+    p.add_argument("--policy", default="cp_sd",
+                   help="name or name:key=val (e.g. ca_rwr:cpth=37)")
+    p.add_argument("--epochs", type=float, default=4.0)
+    p.add_argument("--warmup-epochs", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("forecast", help="lifetime forecast for policies")
+    p.add_argument("--mix", default="mix1")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("policies", nargs="+",
+                   help="e.g. bh lhybrid cp_sd cp_sd_th:th=8")
+    p.set_defaults(func=cmd_forecast)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("id", help=f"one of {sorted(_FIGURES)}")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("ablation", help="run a design-choice ablation")
+    p.add_argument("id", help=f"one of {sorted(_ABLATIONS)}")
+    p.set_defaults(func=cmd_ablation)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

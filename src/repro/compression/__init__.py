@@ -1,0 +1,47 @@
+"""Block compression substrate: modified BDI (Table I), FPC, patterns."""
+
+from .base import CompressionResult, Compressor
+from .bdi import BDICompressor, DEFAULT_COMPRESSOR, compressed_size
+from .encodings import (
+    ALL_ENCODINGS,
+    BLOCK_SIZE,
+    CPTH_LADDER,
+    ECB_OVERHEAD_BYTES,
+    ENCODING_SIZES,
+    ENCODINGS_BY_CE,
+    ENCODINGS_BY_NAME,
+    HCR_LIMIT,
+    Encoding,
+    best_fit_encoding,
+    classify,
+    ecb_size,
+)
+from .cpack import CPackCompressor
+from .fpc import FPCCompressor
+from .patterns import PatternLibrary, incompressible_block, rep8_block, zero_block
+
+__all__ = [
+    "ALL_ENCODINGS",
+    "BDICompressor",
+    "BLOCK_SIZE",
+    "CPTH_LADDER",
+    "CPackCompressor",
+    "CompressionResult",
+    "Compressor",
+    "DEFAULT_COMPRESSOR",
+    "ECB_OVERHEAD_BYTES",
+    "ENCODING_SIZES",
+    "ENCODINGS_BY_CE",
+    "ENCODINGS_BY_NAME",
+    "Encoding",
+    "FPCCompressor",
+    "HCR_LIMIT",
+    "PatternLibrary",
+    "best_fit_encoding",
+    "classify",
+    "compressed_size",
+    "ecb_size",
+    "incompressible_block",
+    "rep8_block",
+    "zero_block",
+]

@@ -1,0 +1,166 @@
+"""Modified Base-Delta-Immediate compressor (Sec. II-B, Table I).
+
+The block is interpreted as eight 8-byte, sixteen 4-byte, or
+thirty-two 2-byte little-endian values.  The first value is the base;
+the remaining values are stored as signed deltas against it.  Unlike
+the original BDI proposal, low-compression-ratio encodings
+(B8D5..B8D7, B4D3) are kept: on a byte-fault-tolerant NVM they let
+frames with a few dead bytes hold almost-incompressible blocks.
+
+Payload layout for a BnDk encoding::
+
+    [ base : n bytes | flags : 1 byte | deltas : (64/n - 1) * k bytes ]
+
+ZERO stores a single zero byte, REP8 the repeated 8-byte value, and
+UNCOMPRESSED the raw block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .base import CompressionResult, Compressor
+from .encodings import (
+    ALL_ENCODINGS,
+    BLOCK_SIZE,
+    REP8,
+    UNCOMPRESSED,
+    ZERO,
+    Encoding,
+)
+
+_ZERO_BLOCK = bytes(BLOCK_SIZE)
+
+#: BnDk encodings grouped by base size, keyed by delta size.
+_FAMILIES: Dict[int, Dict[int, Encoding]] = {}
+for _enc in ALL_ENCODINGS:
+    if _enc.base_bytes and _enc.delta_bytes:
+        _FAMILIES.setdefault(_enc.base_bytes, {})[_enc.delta_bytes] = _enc
+
+_MAX_DELTA = {base: max(family) for base, family in _FAMILIES.items()}
+
+
+def signed_bytes_needed(delta: int) -> int:
+    """Bytes needed to store ``delta`` as a signed little-endian int."""
+    if delta >= 0:
+        bits = delta.bit_length() + 1
+    else:
+        bits = (-delta - 1).bit_length() + 1
+    return max(1, (bits + 7) // 8)
+
+
+def _unpack(block: bytes, width: int) -> List[int]:
+    return [
+        int.from_bytes(block[i : i + width], "little")
+        for i in range(0, BLOCK_SIZE, width)
+    ]
+
+
+def _signed_delta(value: int, base: int, base_bytes: int) -> int:
+    """Two's-complement delta, as the hardware subtractor computes it.
+
+    The difference wraps modulo the value width, and the minimal signed
+    representative is stored — so e.g. 0x...FFFF against base 0 is a
+    one-byte delta of -1, matching the original BDI arithmetic.
+    """
+    bits = 8 * base_bytes
+    delta = (value - base) & ((1 << bits) - 1)
+    if delta >= 1 << (bits - 1):
+        delta -= 1 << bits
+    return delta
+
+
+def _family_delta_width(block: bytes, base_bytes: int) -> Optional[Tuple[int, int]]:
+    """Smallest delta width usable for a base family, or None.
+
+    Returns ``(base_value, delta_bytes)``; deltas are signed wrapped
+    differences against the first value of the block.
+    """
+    values = _unpack(block, base_bytes)
+    base = values[0]
+    width = 1
+    limit = _MAX_DELTA[base_bytes]
+    for value in values[1:]:
+        needed = signed_bytes_needed(_signed_delta(value, base, base_bytes))
+        if needed > width:
+            if needed > limit:
+                return None
+            width = needed
+    return base, width
+
+
+class BDICompressor(Compressor):
+    """The paper's modified BDI compressor (1-2 cycle decompression)."""
+
+    name = "bdi"
+
+    def compress(self, block: bytes) -> CompressionResult:
+        self.check_block(block)
+        if block == _ZERO_BLOCK:
+            return CompressionResult(ZERO, b"\x00")
+
+        first8 = block[:8]
+        if block == first8 * 8:
+            return CompressionResult(REP8, first8)
+
+        best: Optional[Tuple[Encoding, int, int]] = None
+        for base_bytes in sorted(_FAMILIES):
+            fit = _family_delta_width(block, base_bytes)
+            if fit is None:
+                continue
+            base, width = fit
+            encoding = _FAMILIES[base_bytes][width]
+            if best is None or encoding.size < best[0].size:
+                best = (encoding, base, width)
+
+        if best is None or best[0].size >= BLOCK_SIZE:
+            return CompressionResult(UNCOMPRESSED, block)
+
+        encoding, base, width = best
+        payload = self._pack(block, encoding, base, width)
+        return CompressionResult(encoding, payload)
+
+    @staticmethod
+    def _pack(block: bytes, encoding: Encoding, base: int, width: int) -> bytes:
+        parts = [base.to_bytes(encoding.base_bytes, "little"), b"\x00"]
+        values = _unpack(block, encoding.base_bytes)
+        for value in values[1:]:
+            delta = _signed_delta(value, base, encoding.base_bytes)
+            parts.append(delta.to_bytes(width, "little", signed=True))
+        payload = b"".join(parts)
+        assert len(payload) == encoding.size, (len(payload), encoding)
+        return payload
+
+    def decompress(self, result: CompressionResult) -> bytes:
+        encoding = result.encoding
+        payload = result.payload
+        if encoding is ZERO or encoding.name == "ZERO":
+            return _ZERO_BLOCK
+        if encoding.name == "REP8":
+            return payload * 8
+        if encoding.name == "UNCOMPRESSED":
+            return payload
+
+        base_bytes, delta_bytes = encoding.base_bytes, encoding.delta_bytes
+        base = int.from_bytes(payload[:base_bytes], "little")
+        mask = (1 << (8 * base_bytes)) - 1
+        out = [base.to_bytes(base_bytes, "little")]
+        offset = base_bytes + 1
+        for _ in range(encoding.n_values - 1):
+            delta = int.from_bytes(
+                payload[offset : offset + delta_bytes], "little", signed=True
+            )
+            out.append(((base + delta) & mask).to_bytes(base_bytes, "little"))
+            offset += delta_bytes
+        block = b"".join(out)
+        assert len(block) == BLOCK_SIZE
+        return block
+
+
+#: Module-level singleton; the compressor is stateless.
+DEFAULT_COMPRESSOR = BDICompressor()
+
+
+def compressed_size(block: bytes) -> int:
+    """Convenience: compressed size of a block under the default BDI."""
+    return DEFAULT_COMPRESSOR.compress(block).size

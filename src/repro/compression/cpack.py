@@ -1,0 +1,83 @@
+"""C-PACK — dictionary-based comparator compressor (Chen et al.).
+
+A second alternative compressor (besides FPC) demonstrating that the
+insertion policies are compressor-agnostic (Sec. II-B).  This is a
+word-level C-PACK: each 32-bit word is encoded against a small FIFO
+dictionary of recently seen words with the classic pattern set:
+
+====== =============================== ============
+code   pattern                          payload bits
+====== =============================== ============
+``zzzz`` all-zero word                  2
+``xxxx`` uncompressed word              2 + 32
+``mmmm`` full dictionary match          6  (2 + 4-bit index)
+``mmxx`` high-half match                6 + 16
+``mmmx`` 3-byte match                   6 + 8
+``zzzx`` zero-extended byte             2 + 8
+====== =============================== ============
+
+As with FPC, the reported size is rounded up to the nearest modified-
+BDI ladder size so downstream fit-LRU / CP_th machinery can consume it
+unchanged; the payload keeps the raw block (bit-exact packing is not
+needed by any consumer).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from .base import CompressionResult, Compressor
+from .encodings import BLOCK_SIZE, ENCODING_SIZES, UNCOMPRESSED, best_fit_encoding
+
+_DICT_SIZE = 16
+
+
+def _word_cost_bits(word: int, dictionary: List[int]) -> int:
+    """Bits to encode one word; updates the FIFO dictionary."""
+    if word == 0:
+        return 2
+    if word <= 0xFF:
+        return 2 + 8  # zero-extended byte
+    cost = 2 + 32  # uncompressed fallback
+    for entry in dictionary:
+        if entry == word:
+            cost = 6
+            break
+        if (entry ^ word) <= 0xFF:
+            cost = min(cost, 6 + 8)   # 3-byte match
+        elif (entry ^ word) <= 0xFFFF:
+            cost = min(cost, 6 + 16)  # high-half match
+    if word not in dictionary:
+        dictionary.append(word)
+        if len(dictionary) > _DICT_SIZE:
+            dictionary.pop(0)
+    return cost
+
+
+class CPackCompressor(Compressor):
+    """Dictionary-based C-PACK, quantised to the Table I ladder."""
+
+    name = "cpack"
+
+    def compress(self, block: bytes) -> CompressionResult:
+        self.check_block(block)
+        words = struct.unpack("<16I", block)
+        dictionary: List[int] = []
+        bits = sum(_word_cost_bits(w, dictionary) for w in words)
+        raw_size = (bits + 7) // 8
+        if raw_size >= BLOCK_SIZE:
+            return CompressionResult(UNCOMPRESSED, block)
+        encoding = None
+        for size in ENCODING_SIZES:
+            if size >= raw_size:
+                encoding = best_fit_encoding(size)
+                if encoding is not None and encoding.size >= raw_size:
+                    break
+        if encoding is None or encoding.size >= BLOCK_SIZE:
+            return CompressionResult(UNCOMPRESSED, block)
+        return CompressionResult(encoding, block)
+
+    def decompress(self, result: CompressionResult) -> bytes:
+        # compress() always keeps the raw block as the payload.
+        return result.payload

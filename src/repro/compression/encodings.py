@@ -1,0 +1,145 @@
+"""Modified Base-Delta-Immediate compression encodings (Table I).
+
+The paper uses a *modified* BDI [36] that, unlike the original, keeps
+the low-compression-ratio (LCR) encodings: on a byte-fault-tolerant NVM
+even a block that shrinks by just a few bytes can be stored in a frame
+with a few dead bytes (Sec. II-B).
+
+Table I in the available text is garbled, so the encoding set is
+reconstructed from the constraints the paper states explicitly:
+
+* the ``CP_th`` ladder swept in Sec. IV is {30, 37, 44, 51, 58, 64};
+* HCR blocks are those with compressed size <= 37 B, LCR blocks those
+  above 37 B (Sec. II-B);
+* "compression encodings B8D7 and above (<= 58B)" fit a 64-B frame
+  with one dead byte (Sec. III-B).
+
+Sizes below follow ``base + 1 flag byte + n_deltas * delta_bytes``
+(the first value of the block doubles as the base, so a 64-B block of
+eight 8-B values stores 7 deltas).  This yields exactly the published
+ladder for the base-8 family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+BLOCK_SIZE = 64
+
+#: Blocks with compressed size <= HCR_LIMIT are high-compression-ratio
+#: (HCR); larger-but-compressible blocks are low-compression-ratio
+#: (LCR).  Sec. II-B fixes the boundary at 37 bytes.
+HCR_LIMIT = 37
+
+#: Metadata appended to the compressed block: 4-bit compression
+#: encoding + 11-bit SECDED, rounded up to whole bytes (Sec. III-B1).
+ECB_OVERHEAD_BYTES = 2
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """One compression encoding (CE): a (base size, delta size) pair."""
+
+    name: str
+    ce: int            # 4-bit CE identifier stored with the block
+    base_bytes: int    # 0 for special encodings (ZERO / UNCOMPRESSED)
+    delta_bytes: int
+    size: int          # compressed size in bytes
+
+    @property
+    def n_values(self) -> int:
+        """Number of machine values the 64-B block is split into."""
+        if self.base_bytes == 0:
+            return 0
+        return BLOCK_SIZE // self.base_bytes
+
+    @property
+    def is_hcr(self) -> bool:
+        return self.size <= HCR_LIMIT
+
+    @property
+    def is_compressed(self) -> bool:
+        return self.size < BLOCK_SIZE
+
+
+def _bdi_size(base: int, delta: int) -> int:
+    """base value + 1 flag byte + one delta per remaining value."""
+    n_values = BLOCK_SIZE // base
+    return base + 1 + (n_values - 1) * delta
+
+
+ZERO = Encoding("ZERO", 0, 0, 0, 1)
+REP8 = Encoding("REP8", 1, 8, 0, 8)
+B8D1 = Encoding("B8D1", 2, 8, 1, _bdi_size(8, 1))    # 16
+B8D2 = Encoding("B8D2", 3, 8, 2, _bdi_size(8, 2))    # 23
+B8D3 = Encoding("B8D3", 4, 8, 3, _bdi_size(8, 3))    # 30
+B8D4 = Encoding("B8D4", 5, 8, 4, _bdi_size(8, 4))    # 37
+B8D5 = Encoding("B8D5", 6, 8, 5, _bdi_size(8, 5))    # 44
+B8D6 = Encoding("B8D6", 7, 8, 6, _bdi_size(8, 6))    # 51
+B8D7 = Encoding("B8D7", 8, 8, 7, _bdi_size(8, 7))    # 58
+B4D1 = Encoding("B4D1", 9, 4, 1, _bdi_size(4, 1))    # 20
+B4D2 = Encoding("B4D2", 10, 4, 2, _bdi_size(4, 2))   # 35
+B4D3 = Encoding("B4D3", 11, 4, 3, _bdi_size(4, 3))   # 50
+B2D1 = Encoding("B2D1", 12, 2, 1, _bdi_size(2, 1))   # 34
+UNCOMPRESSED = Encoding("UNCOMPRESSED", 15, 0, 0, BLOCK_SIZE)
+
+#: All encodings the compressor may emit, in preference order for equal
+#: sizes (earlier wins ties).
+ALL_ENCODINGS: Tuple[Encoding, ...] = (
+    ZERO,
+    REP8,
+    B8D1,
+    B8D2,
+    B8D3,
+    B8D4,
+    B8D5,
+    B8D6,
+    B8D7,
+    B4D1,
+    B4D2,
+    B4D3,
+    B2D1,
+    UNCOMPRESSED,
+)
+
+ENCODINGS_BY_NAME: Dict[str, Encoding] = {e.name: e for e in ALL_ENCODINGS}
+ENCODINGS_BY_CE: Dict[int, Encoding] = {e.ce: e for e in ALL_ENCODINGS}
+
+#: The distinct compressed sizes the encoding set can produce, sorted.
+ENCODING_SIZES: Tuple[int, ...] = tuple(sorted({e.size for e in ALL_ENCODINGS}))
+
+#: The CP_th candidate ladder the paper sweeps (Sec. IV-C).
+CPTH_LADDER: Tuple[int, ...] = (30, 37, 44, 51, 58, 64)
+
+
+def ecb_size(compressed_size: int) -> int:
+    """Size of the extended compressed block written to an NVM frame.
+
+    ECB = compressed block + CE + SECDED metadata, never larger than an
+    uncompressed frame (an uncompressed block's metadata lives in the
+    tag array, as in the baselines).
+    """
+    if not 0 <= compressed_size <= BLOCK_SIZE:
+        raise ValueError(f"bad compressed size {compressed_size}")
+    if compressed_size >= BLOCK_SIZE:
+        return BLOCK_SIZE
+    return min(BLOCK_SIZE, compressed_size + ECB_OVERHEAD_BYTES)
+
+
+def classify(compressed_size: int) -> str:
+    """Classify a block as ``hcr``, ``lcr`` or ``incompressible``."""
+    if compressed_size >= BLOCK_SIZE:
+        return "incompressible"
+    if compressed_size <= HCR_LIMIT:
+        return "hcr"
+    return "lcr"
+
+
+def best_fit_encoding(max_size: int) -> Optional[Encoding]:
+    """Largest (least compressed) encoding whose size is <= ``max_size``."""
+    best = None
+    for enc in ALL_ENCODINGS:
+        if enc.size <= max_size and (best is None or enc.size > best.size):
+            best = enc
+    return best

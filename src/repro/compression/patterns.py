@@ -1,0 +1,125 @@
+"""Synthetic 64-byte data patterns with controlled compressibility.
+
+The workload generator (``repro.workloads``) needs cache-block payloads
+whose modified-BDI compressed size matches a target drawn from each
+application's compressibility profile (Fig. 2).  This module produces
+such blocks and verifies them against the real compressor, so the rest
+of the system always operates on genuinely compressed data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import CompressionResult
+from .bdi import DEFAULT_COMPRESSOR, signed_bytes_needed
+from .encodings import ALL_ENCODINGS, BLOCK_SIZE, Encoding
+
+
+def zero_block() -> bytes:
+    return bytes(BLOCK_SIZE)
+
+
+def rep8_block(rng: random.Random) -> bytes:
+    value = rng.getrandbits(64) | (1 << 63)  # non-zero, not delta-friendly
+    return value.to_bytes(8, "little") * 8
+
+
+def incompressible_block(rng: random.Random) -> bytes:
+    """Random data; random 8-byte values essentially never share a base."""
+    for _ in range(64):
+        block = rng.getrandbits(BLOCK_SIZE * 8).to_bytes(BLOCK_SIZE, "little")
+        if DEFAULT_COMPRESSOR.compress(block).size >= BLOCK_SIZE:
+            return block
+    raise RuntimeError("could not generate an incompressible block")
+
+
+def _signed_range(width: int) -> Tuple[int, int]:
+    half = 1 << (8 * width - 1)
+    return -half, half - 1
+
+
+def base_delta_block(rng: random.Random, encoding: Encoding) -> bytes:
+    """A block that needs exactly ``encoding`` (a BnDk) to compress."""
+    base_bytes, delta_bytes = encoding.base_bytes, encoding.delta_bytes
+    lo, hi = _signed_range(delta_bytes)
+    # Base far from zero so 4/2-byte reinterpretations do not collapse.
+    base = rng.getrandbits(8 * base_bytes - 1) | (1 << (8 * base_bytes - 2))
+    values = [base]
+    n_values = encoding.n_values
+    pin = rng.randrange(1, n_values)  # one delta forced to need full width
+    for i in range(1, n_values):
+        if i == pin:
+            delta = rng.choice((lo, hi))
+        else:
+            delta = rng.randint(lo, hi)
+        if signed_bytes_needed(delta) > delta_bytes:
+            delta = hi
+        values.append((base + delta) & ((1 << (8 * base_bytes)) - 1))
+    return b"".join(v.to_bytes(base_bytes, "little") for v in values)
+
+
+class PatternLibrary:
+    """Pre-verified pool of blocks per target compressed size.
+
+    ``block_for_size`` returns a block whose BDI compressed size equals
+    the requested target (one of the encoding sizes); results are
+    compressed once and cached, so consumers can fetch both the payload
+    and its :class:`CompressionResult` cheaply.
+    """
+
+    def __init__(self, seed: int = 0, pool_size: int = 32) -> None:
+        self._rng = random.Random(seed)
+        self._pool_size = pool_size
+        self._pools: Dict[int, List[bytes]] = {}
+        self._results: Dict[bytes, CompressionResult] = {}
+        self._by_size: Dict[int, List[Encoding]] = {}
+        for enc in ALL_ENCODINGS:
+            self._by_size.setdefault(enc.size, []).append(enc)
+
+    @property
+    def available_sizes(self) -> Sequence[int]:
+        return sorted(self._by_size)
+
+    def _generate(self, size: int) -> bytes:
+        encodings = self._by_size.get(size)
+        if not encodings:
+            raise ValueError(f"no encoding with compressed size {size}")
+        for _ in range(128):
+            enc = self._rng.choice(encodings)
+            if enc.name == "ZERO":
+                block = zero_block()
+            elif enc.name == "REP8":
+                block = rep8_block(self._rng)
+            elif enc.name == "UNCOMPRESSED":
+                block = incompressible_block(self._rng)
+            else:
+                block = base_delta_block(self._rng, enc)
+            result = DEFAULT_COMPRESSOR.compress(block)
+            if result.size == size:
+                self._results[block] = result
+                return block
+        raise RuntimeError(f"could not synthesise a block of size {size}")
+
+    def block_for_size(self, size: int, choice: Optional[int] = None) -> bytes:
+        """A block compressing to exactly ``size`` bytes.
+
+        ``choice`` selects deterministically within the pool; omit it
+        for round-robin variety.
+        """
+        pool = self._pools.get(size)
+        if pool is None:
+            pool = [self._generate(size) for _ in range(self._pool_size)]
+            self._pools[size] = pool
+        if choice is None:
+            choice = self._rng.randrange(len(pool))
+        return pool[choice % len(pool)]
+
+    def compression_of(self, block: bytes) -> CompressionResult:
+        """Cached compression result for a block from this library."""
+        result = self._results.get(block)
+        if result is None:
+            result = DEFAULT_COMPRESSOR.compress(block)
+            self._results[block] = result
+        return result

@@ -1,0 +1,52 @@
+"""The paper's contribution: insertion policies for hybrid LLCs.
+
+Importing this package registers every policy of Table III (plus the
+CA/CA_RWR building blocks and the SRAM bounds) with the registry, so
+``make_policy("cp_sd")`` etc. work out of the box.
+"""
+
+from .bh import BHPolicy
+from .bh_cp import BHCPPolicy
+from .ca import CAPolicy
+from .ca_rwr import CARWRPolicy
+from .cp_sd import CPSDPolicy
+from .cp_sd_th import CPSDThPolicy
+from .lhybrid import LHybridPolicy
+from .policy import (
+    GLOBAL,
+    FillContext,
+    InsertionPolicy,
+    make_policy,
+    register_policy,
+    registered_policies,
+)
+from .set_dueling import (
+    DuelingController,
+    ElectionRule,
+    HitWriteTradeoffRule,
+    MaxHitsRule,
+)
+from .sram import SRAMOnlyPolicy
+from .tap import TAPPolicy
+
+__all__ = [
+    "BHCPPolicy",
+    "BHPolicy",
+    "CAPolicy",
+    "CARWRPolicy",
+    "CPSDPolicy",
+    "CPSDThPolicy",
+    "DuelingController",
+    "ElectionRule",
+    "FillContext",
+    "GLOBAL",
+    "HitWriteTradeoffRule",
+    "InsertionPolicy",
+    "LHybridPolicy",
+    "MaxHitsRule",
+    "SRAMOnlyPolicy",
+    "TAPPolicy",
+    "make_policy",
+    "register_policy",
+    "registered_policies",
+]

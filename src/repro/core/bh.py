@@ -1,0 +1,29 @@
+"""BH — the baseline hybrid LLC (Sec. II-D, Table III).
+
+BH is NVM-unaware: it manages a single LRU list over all 16 ways of a
+set and inserts every incoming block at the global LRU way regardless
+of technology.  Blocks are stored uncompressed and hard faults are
+tolerated by frame-disabling, so its initial performance matches a
+16-way SRAM cache (minus NVM latency) but the NVM part wears out in
+months (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..cache.cacheset import CacheSet
+from .policy import GLOBAL, FillContext, InsertionPolicy, register_policy
+
+
+@register_policy("bh")
+class BHPolicy(InsertionPolicy):
+    """Global-LRU hybrid baseline with frame-disabling."""
+
+    name = "bh"
+    granularity = "frame"
+    compressed = False
+    nvm_aware = False
+
+    def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
+        return (GLOBAL,)

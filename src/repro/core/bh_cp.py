@@ -1,0 +1,28 @@
+"""BH_CP — compressed baseline hybrid LLC (Sec. V-B, Table III).
+
+BH_CP adds compression and byte-disabling to BH but stays oblivious to
+NVM wear: a single *fit-LRU* list covers both parts, and the victim is
+the LRU block among the frames (SRAM or NVM) whose effective capacity
+can hold the incoming compressed block.  Compression alone stretches
+BH's lifetime by ~4.8x without any insertion intelligence (Fig. 10a).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..cache.cacheset import CacheSet
+from .policy import GLOBAL, FillContext, InsertionPolicy, register_policy
+
+
+@register_policy("bh_cp")
+class BHCPPolicy(InsertionPolicy):
+    """Global fit-LRU baseline with compression + byte-disabling."""
+
+    name = "bh_cp"
+    granularity = "byte"
+    compressed = True
+    nvm_aware = False
+
+    def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
+        return (GLOBAL,)

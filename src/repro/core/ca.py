@@ -1,0 +1,46 @@
+"""CA — naive compression-aware insertion (Sec. IV-A).
+
+Blocks whose compressed size is at most the compression threshold
+``CP_th`` ("small" blocks) are inserted into the NVM part, bigger
+blocks into the SRAM part; both parts run a local (fit-)LRU.  A small
+block that fits no NVM frame falls back to SRAM.
+
+CA ignores reuse, so workloads whose compressibility is one-sided
+(e.g. 100 %-incompressible xz17/milc, or fully-HCR GemsFDTD/zeusmp)
+over-reference one part and lose performance — the imbalance CA_RWR
+and Set Dueling repair.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..cache.cacheset import NVM, SRAM, CacheSet
+from .policy import FillContext, InsertionPolicy, register_policy
+
+
+@register_policy("ca")
+class CAPolicy(InsertionPolicy):
+    """Compression-threshold-only insertion."""
+
+    name = "ca"
+    granularity = "byte"
+    compressed = True
+    nvm_aware = True
+
+    def __init__(self, cpth: int = 58) -> None:
+        super().__init__()
+        if not 0 <= cpth <= 64:
+            raise ValueError(f"CP_th {cpth} out of range")
+        self.cpth = cpth
+
+    def cpth_for_set(self, set_index: int) -> int:
+        return self.cpth
+
+    def current_cpth(self) -> int:
+        return self.cpth
+
+    def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
+        if ctx.csize <= self.cpth_for_set(ctx.set_index):
+            return (NVM, SRAM)
+        return (SRAM,)

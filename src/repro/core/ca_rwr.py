@@ -1,0 +1,64 @@
+"""CA_RWR — compression + read/write-reuse aware insertion (Sec. IV-B).
+
+Placement rules (Table II):
+
+* read-reused blocks -> NVM regardless of size (long LLC residents,
+  each insertion prevents further frame writes);
+* write-reused blocks -> SRAM regardless of size (GetX invalidate-on-
+  hit makes them short-lived and repeatedly re-inserted);
+* non-reused blocks -> by compressed size against ``CP_th`` (as CA).
+
+A block directed to NVM that fits no NVM frame is placed in SRAM.
+Two migrations keep blocks converging to their right home:
+
+* an SRAM replacement victim that showed *read* reuse is migrated to
+  the NVM part instead of being evicted;
+* a block in NVM that shows *write* reuse is invalidated by the GetX
+  hit and will re-enter through SRAM when evicted from L2 (this needs
+  no extra mechanism here — the insertion rule handles it).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..cache.block import ReuseClass
+from ..cache.cacheset import NVM, SRAM, CacheSet
+from ..cache.llc import EvictedBlock
+from .ca import CAPolicy
+from .policy import FillContext, register_policy
+
+
+@register_policy("ca_rwr")
+class CARWRPolicy(CAPolicy):
+    """CA plus read/write-reuse steering and SRAM->NVM migration.
+
+    ``migrate_on_eviction=False`` disables the SRAM->NVM migration of
+    read-reused victims — an ablation knob for the design choice, not a
+    paper configuration.
+    """
+
+    name = "ca_rwr"
+
+    def __init__(self, cpth: int = 58, migrate_on_eviction: bool = True) -> None:
+        super().__init__(cpth=cpth)
+        self.migrate_on_eviction = migrate_on_eviction
+
+    def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
+        if ctx.reuse is ReuseClass.READ:
+            return (NVM, SRAM)
+        if ctx.reuse is ReuseClass.WRITE:
+            return (SRAM,)
+        if ctx.csize <= self.cpth_for_set(ctx.set_index):
+            return (NVM, SRAM)
+        return (SRAM,)
+
+    def handle_sram_eviction(
+        self, cache_set: CacheSet, victim: EvictedBlock
+    ) -> bool:
+        if not self.migrate_on_eviction:
+            return False
+        if victim.reuse is not ReuseClass.READ:
+            return False
+        assert self.llc is not None
+        return self.llc.migrate_to_nvm(cache_set, victim)

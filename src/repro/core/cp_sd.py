@@ -1,0 +1,64 @@
+"""CP_SD — compression-aware insertion with Set Dueling (Sec. IV-C).
+
+CP_SD is CA_RWR whose compression threshold is chosen at runtime: each
+candidate ``CP_th`` in {30..64} is fixed on its own group of leader
+sets, and all follower sets adopt whichever candidate scored the most
+LLC hits in the previous 2M-cycle epoch.  This adapts to both workload
+phase changes and the shrinking effective capacity of an aging NVM
+part (Fig. 8 shows the optimum drifting to smaller thresholds as
+capacity decays).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cache.cacheset import CacheSet
+from ..config import SetDuelingConfig
+from .ca_rwr import CARWRPolicy
+from .policy import register_policy
+from .set_dueling import DuelingController, ElectionRule, MaxHitsRule
+
+
+@register_policy("cp_sd")
+class CPSDPolicy(CARWRPolicy):
+    """CA_RWR + Set Dueling on CP_th (performance-optimised)."""
+
+    name = "cp_sd"
+
+    def __init__(
+        self,
+        dueling: Optional[SetDuelingConfig] = None,
+        rule: Optional[ElectionRule] = None,
+    ) -> None:
+        super().__init__(cpth=64)
+        self.dueling_config = dueling if dueling is not None else SetDuelingConfig()
+        self._rule = rule if rule is not None else MaxHitsRule()
+        self.controller: Optional[DuelingController] = None
+
+    def bind(self, llc) -> None:
+        super().bind(llc)
+        self.controller = DuelingController(
+            self.dueling_config, llc.n_sets, rule=self._rule
+        )
+
+    # ------------------------------------------------------------------
+    def cpth_for_set(self, set_index: int) -> int:
+        assert self.controller is not None
+        return self.controller.cpth_for_set(set_index)
+
+    def current_cpth(self) -> int:
+        assert self.controller is not None
+        return self.controller.current_winner
+
+    def on_hit(self, cache_set: CacheSet, way: int, is_getx: bool) -> None:
+        assert self.controller is not None
+        self.controller.record_hit(cache_set.index)
+
+    def on_nvm_write(self, set_index: int, n_bytes: int) -> None:
+        assert self.controller is not None
+        self.controller.record_nvm_write(set_index, n_bytes)
+
+    def end_epoch(self) -> None:
+        assert self.controller is not None
+        self.controller.end_epoch()

@@ -1,0 +1,64 @@
+"""LHybrid — loop-block aware insertion [9] in a fault-aware setting.
+
+LHybrid (Cheng et al.) tags blocks as loop-blocks (LB: clean blocks
+that showed read reuse in the LLC) or non-loop-blocks (NLB) and keeps
+the NVM part for LBs:
+
+* insertion: an L2 eviction tagged LB goes to NVM, everything else to
+  SRAM;
+* NVM replacement: plain local LRU;
+* SRAM replacement: if the set holds LBs, the most recent LB (in LRU
+  order) is *migrated* to the NVM part and its frame hosts the
+  incoming block; otherwise the LRU block is evicted.
+
+Per Sec. I (contributions), the policy is evaluated here in the same
+fault-aware environment as the proposals: frame-disabling tolerates
+hard errors, and blocks are stored uncompressed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..cache.block import ReuseClass
+from ..cache.cacheset import NVM, SRAM, CacheSet
+from ..cache.llc import EvictedBlock
+from ..cache.replacement import lru_victim, mru_victim_where
+from .policy import FillContext, InsertionPolicy, register_policy
+
+
+@register_policy("lhybrid")
+class LHybridPolicy(InsertionPolicy):
+    """Loop-block aware insertion with frame-disabling."""
+
+    name = "lhybrid"
+    granularity = "frame"
+    compressed = False
+    nvm_aware = True
+
+    def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
+        if ctx.reuse is ReuseClass.READ:  # loop-block
+            return (NVM, SRAM)
+        return (SRAM,)
+
+    def choose_victim(
+        self, cache_set: CacheSet, part: int, ctx: FillContext
+    ) -> Optional[int]:
+        if part == SRAM:
+            lb_way = mru_victim_where(
+                cache_set,
+                cache_set.ways_of_part(SRAM),
+                lambda w: cache_set.reuse[w] is ReuseClass.READ,
+            )
+            if lb_way is not None:
+                return lb_way
+            return lru_victim(cache_set, cache_set.ways_of_part(SRAM))
+        return super().choose_victim(cache_set, part, ctx)
+
+    def handle_sram_eviction(
+        self, cache_set: CacheSet, victim: EvictedBlock
+    ) -> bool:
+        if victim.reuse is not ReuseClass.READ:
+            return False
+        assert self.llc is not None
+        return self.llc.migrate_to_nvm(cache_set, victim)

@@ -1,0 +1,28 @@
+"""SRAM-only LLC bounds (Sec. II-D).
+
+The paper brackets every hybrid configuration between a 16-way SRAM
+LLC (upper bound: same associativity, no NVM latency or wear) and a
+4-way SRAM LLC (lower bound: as if the 12 NVM ways were fully worn
+out).  Both use plain LRU.  Use them with a geometry whose
+``nvm_ways`` is 0 and whose ``sram_ways`` is 16 or 4.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..cache.cacheset import SRAM, CacheSet
+from .policy import FillContext, InsertionPolicy, register_policy
+
+
+@register_policy("sram")
+class SRAMOnlyPolicy(InsertionPolicy):
+    """Plain LRU over SRAM ways only (the paper's dashed bounds)."""
+
+    name = "sram"
+    granularity = "byte"
+    compressed = False
+    nvm_aware = False
+
+    def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
+        return (SRAM,)

@@ -1,0 +1,88 @@
+"""TAP — thrashing-aware placement [32] in a fault-aware setting.
+
+TAP routes only *clean thrashing blocks* — blocks whose LLC hit count
+exceeded a threshold — to the NVM part; everything else (demand
+writes, dirty data, blocks without repeated reuse) stays in SRAM.
+Because a block must prove reuse more than once (unlike LHybrid's
+loop-block, which qualifies on the first clean hit), TAP inserts even
+more conservatively: longest lifetime, lowest performance of the
+NVM-aware policies (Fig. 1).
+
+Thrashing detection uses a persistent saturating per-block hit counter
+(the tag must survive evictions, or no block could ever accumulate
+enough reuse to qualify).  Frame-disabling, uncompressed storage, as
+in the paper's fault-aware adaptation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..cache.cacheset import NVM, SRAM, CacheSet
+from .policy import FillContext, InsertionPolicy, register_policy
+
+_COUNTER_MAX = 15
+
+
+@register_policy("tap")
+class TAPPolicy(InsertionPolicy):
+    """Clean-thrashing-block insertion with frame-disabling."""
+
+    name = "tap"
+    granularity = "frame"
+    compressed = False
+    nvm_aware = True
+
+    def __init__(
+        self,
+        hit_threshold: int = 1,
+        table_capacity: int = 1 << 20,
+        decay_epochs: int = 6,
+    ) -> None:
+        super().__init__()
+        if hit_threshold < 1:
+            raise ValueError("hit_threshold must be >= 1")
+        if decay_epochs < 1:
+            raise ValueError("decay_epochs must be >= 1")
+        self.hit_threshold = hit_threshold
+        self.table_capacity = table_capacity
+        self.decay_epochs = decay_epochs
+        self._epochs_since_decay = 0
+        self._hit_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def on_hit(self, cache_set: CacheSet, way: int, is_getx: bool) -> None:
+        addr = cache_set.tags[way]
+        if addr is None:
+            return
+        count = self._hit_counts.get(addr, 0)
+        if count < _COUNTER_MAX:
+            if len(self._hit_counts) >= self.table_capacity and addr not in self._hit_counts:
+                self._hit_counts.clear()  # cheap wholesale aging
+            self._hit_counts[addr] = count + 1
+
+    def is_thrashing(self, addr: int) -> bool:
+        return self._hit_counts.get(addr, 0) > self.hit_threshold
+
+    def end_epoch(self) -> None:
+        """Age the thrashing detector.
+
+        Halving the counters every ``decay_epochs`` epochs keeps
+        genuinely hot blocks (hit repeatedly across program phases)
+        qualified while blocks with sporadic reuse — e.g. long scans
+        that sneak one SRAM hit now and then — never stay above the
+        threshold.  Without decay the persistent table slowly declares
+        everything thrashing; with too-fast decay nothing ever
+        qualifies.
+        """
+        self._epochs_since_decay += 1
+        if self._epochs_since_decay < self.decay_epochs:
+            return
+        self._epochs_since_decay = 0
+        decayed = {addr: c >> 1 for addr, c in self._hit_counts.items() if c >> 1}
+        self._hit_counts = decayed
+
+    def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
+        if not ctx.dirty and self.is_thrashing(ctx.addr):
+            return (NVM, SRAM)
+        return (SRAM,)

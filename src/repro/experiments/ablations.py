@@ -1,0 +1,142 @@
+"""Ablations of the design choices the paper makes along the way.
+
+Three claims from the text get their own experiments:
+
+* **Epoch size** (Sec. IV-C): "we perform these experiments varying
+  the epoch size and our evaluation shows that 2M cycles achieves the
+  best Set Dueling performance" — sweep the epoch length and measure
+  CP_SD's hits.
+* **SRAM->NVM migration** (Sec. IV-B): read-reused SRAM victims are
+  migrated to NVM instead of being dropped — compare CA_RWR with the
+  migration disabled.
+* **Compressor orthogonality** (Sec. II-B): "our proposed policies are
+  orthogonal to the compression mechanism" — run CP_SD with FPC
+  instead of modified BDI on identical payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from ..compression.fpc import FPCCompressor
+from ..core import make_policy
+from ..engine import Simulation
+from .common import ExperimentScale, get_scale, run_one
+
+
+def run_epoch_size_sweep(
+    scale: Optional[ExperimentScale] = None,
+    multipliers: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    mixes: Optional[Sequence[str]] = None,
+    total_epochs_at_1x: float = 16,
+    warmup_epochs_at_1x: float = 10,
+) -> List[dict]:
+    """CP_SD quality vs Set-Dueling epoch length (around the scaled 2M).
+
+    All runs cover the same number of *cycles*; only the election
+    period changes.  Expected: a broad optimum around the paper's
+    choice — much shorter epochs elect on noise, much longer ones
+    adapt too slowly.
+    """
+    scale = scale or get_scale()
+    mixes = tuple(mixes if mixes is not None else scale.mixes[:2])
+    base_cfg = scale.system()
+    base_epoch = base_cfg.dueling.epoch_cycles
+    total = total_epochs_at_1x * base_epoch
+    warmup = warmup_epochs_at_1x * base_epoch
+
+    rows: List[dict] = []
+    for mult in multipliers:
+        cfg = replace(
+            base_cfg,
+            dueling=replace(base_cfg.dueling, epoch_cycles=int(base_epoch * mult)),
+        )
+        hits = 0
+        nvm_bytes = 0
+        for mix in mixes:
+            sim = Simulation(cfg, make_policy("cp_sd"), scale.workload(mix))
+            res = sim.run(cycles=total, warmup_cycles=warmup)
+            hits += res.llc_hits
+            nvm_bytes += res.nvm_bytes_written
+        rows.append(
+            {
+                "epoch_multiplier": mult,
+                "epoch_cycles": int(base_epoch * mult),
+                "hits": hits,
+                "nvm_bytes": nvm_bytes,
+            }
+        )
+    best = max(r["hits"] for r in rows)
+    for r in rows:
+        r["hits_norm"] = r["hits"] / best
+    return rows
+
+
+def run_migration_ablation(
+    scale: Optional[ExperimentScale] = None,
+    mixes: Optional[Sequence[str]] = None,
+    cpth: int = 58,
+    warmup_epochs: float = 10,
+    measure_epochs: float = 5,
+) -> List[dict]:
+    """CA_RWR with vs without the read-reuse SRAM->NVM migration."""
+    scale = scale or get_scale()
+    mixes = tuple(mixes if mixes is not None else scale.mixes[:2])
+    config = scale.system()
+    rows: List[dict] = []
+    for migrate in (True, False):
+        hits = ipc = bytes_ = migrations = 0
+        for mix in mixes:
+            policy = make_policy("ca_rwr", cpth=cpth, migrate_on_eviction=migrate)
+            res = run_one(config, policy, scale.workload(mix), warmup_epochs,
+                          measure_epochs)
+            hits += res.llc_hits
+            ipc += res.mean_ipc / len(mixes)
+            bytes_ += res.nvm_bytes_written
+            migrations += res.stats.llc.migrations_to_nvm
+        rows.append(
+            {
+                "migration": "on" if migrate else "off",
+                "hits": hits,
+                "ipc": ipc,
+                "nvm_bytes": bytes_,
+                "migrations": migrations,
+            }
+        )
+    return rows
+
+
+def run_compressor_ablation(
+    scale: Optional[ExperimentScale] = None,
+    mixes: Optional[Sequence[str]] = None,
+    warmup_epochs: float = 10,
+    measure_epochs: float = 5,
+) -> List[dict]:
+    """CP_SD under modified BDI vs FPC on identical payloads."""
+    scale = scale or get_scale()
+    mixes = tuple(mixes if mixes is not None else scale.mixes[:2])
+    config = scale.system()
+    epoch = config.dueling.epoch_cycles
+    rows: List[dict] = []
+    for comp_name in ("bdi", "fpc"):
+        hits = ipc = bytes_ = 0
+        for mix in mixes:
+            workload = scale.workload(mix)
+            size_fn = (
+                workload.data_model.size_fn
+                if comp_name == "bdi"
+                else workload.data_model.size_fn_for(FPCCompressor())
+            )
+            sim = Simulation(config, make_policy("cp_sd"), workload, size_fn=size_fn)
+            res = sim.run(
+                cycles=epoch * (warmup_epochs + measure_epochs),
+                warmup_cycles=epoch * warmup_epochs,
+            )
+            hits += res.llc_hits
+            ipc += res.mean_ipc / len(mixes)
+            bytes_ += res.nvm_bytes_written
+        rows.append(
+            {"compressor": comp_name, "hits": hits, "ipc": ipc, "nvm_bytes": bytes_}
+        )
+    return rows

@@ -1,0 +1,114 @@
+"""Figs. 6 and 7 — LLC hit rate and NVM bytes written vs ``CP_th``.
+
+Sweeps the compression threshold over the Table I ladder for the CA
+and CA_RWR policies, and runs CP_SD once, everything normalised to BH
+on the same reference stream.  Expected shapes:
+
+* Fig. 6: CA's normalised hit rate rises with CP_th and peaks around
+  CP_th = 58; CA_RWR is above CA for small CP_th;
+* Fig. 7: NVM bytes written grow steeply with CP_th; CA_RWR writes far
+  fewer bytes than CA at high CP_th (read/write-reuse steering);
+* CP_SD matches the best fixed threshold's hit rate while writing
+  fewer bytes than CA_RWR at CP_th = 58/64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compression.encodings import CPTH_LADDER
+from ..core import make_policy
+from .common import ExperimentScale, get_scale, run_one
+
+
+@dataclass
+class SweepResult:
+    """Averaged (over mixes) normalised hit rates and NVM bytes."""
+
+    cpth_values: Tuple[int, ...]
+    ca_hit: Dict[int, float] = field(default_factory=dict)
+    ca_bytes: Dict[int, float] = field(default_factory=dict)
+    ca_rwr_hit: Dict[int, float] = field(default_factory=dict)
+    ca_rwr_bytes: Dict[int, float] = field(default_factory=dict)
+    cp_sd_hit: float = 0.0
+    cp_sd_bytes: float = 0.0
+    mixes: Tuple[str, ...] = ()
+
+    def rows(self) -> List[dict]:
+        out = []
+        for cpth in self.cpth_values:
+            out.append(
+                {
+                    "cpth": cpth,
+                    "ca_hit": self.ca_hit[cpth],
+                    "ca_rwr_hit": self.ca_rwr_hit[cpth],
+                    "ca_bytes": self.ca_bytes[cpth],
+                    "ca_rwr_bytes": self.ca_rwr_bytes[cpth],
+                }
+            )
+        out.append(
+            {
+                "cpth": "SD",
+                "ca_hit": None,
+                "ca_rwr_hit": self.cp_sd_hit,
+                "ca_bytes": None,
+                "ca_rwr_bytes": self.cp_sd_bytes,
+            }
+        )
+        return out
+
+
+def run_cpth_sweep(
+    scale: Optional[ExperimentScale] = None,
+    mixes: Optional[Sequence[str]] = None,
+    cpth_values: Sequence[int] = CPTH_LADDER,
+    warmup_epochs: float = 6,
+    measure_epochs: float = 3,
+) -> SweepResult:
+    """Run the Fig. 6/7 sweep; values are normalised to BH per mix."""
+    scale = scale or get_scale()
+    mixes = tuple(mixes if mixes is not None else scale.mixes)
+    config = scale.system()
+
+    acc: Dict[Tuple[str, int], List[float]] = {}
+    acc_bytes: Dict[Tuple[str, int], List[float]] = {}
+    sd_hits: List[float] = []
+    sd_bytes: List[float] = []
+
+    for mix in mixes:
+        workload = scale.workload(mix)
+        base = run_one(config, make_policy("bh"), workload, warmup_epochs, measure_epochs)
+        base_hits = max(1, base.llc_hits)
+        base_bytes = max(1, base.nvm_bytes_written)
+
+        for cpth in cpth_values:
+            for name in ("ca", "ca_rwr"):
+                res = run_one(
+                    config,
+                    make_policy(name, cpth=cpth),
+                    workload,
+                    warmup_epochs,
+                    measure_epochs,
+                )
+                acc.setdefault((name, cpth), []).append(res.llc_hits / base_hits)
+                acc_bytes.setdefault((name, cpth), []).append(
+                    res.nvm_bytes_written / base_bytes
+                )
+
+        res = run_one(config, make_policy("cp_sd"), workload, warmup_epochs, measure_epochs)
+        sd_hits.append(res.llc_hits / base_hits)
+        sd_bytes.append(res.nvm_bytes_written / base_bytes)
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values)
+
+    result = SweepResult(cpth_values=tuple(cpth_values), mixes=mixes)
+    for cpth in cpth_values:
+        result.ca_hit[cpth] = mean(acc[("ca", cpth)])
+        result.ca_bytes[cpth] = mean(acc_bytes[("ca", cpth)])
+        result.ca_rwr_hit[cpth] = mean(acc[("ca_rwr", cpth)])
+        result.ca_rwr_bytes[cpth] = mean(acc_bytes[("ca_rwr", cpth)])
+    result.cp_sd_hit = mean(sd_hits)
+    result.cp_sd_bytes = mean(sd_bytes)
+    return result

@@ -1,0 +1,129 @@
+"""Fig. 8 — which ``CP_th`` wins each epoch, vs NVM capacity and mix.
+
+For every candidate threshold the same workload runs under CA_RWR with
+that fixed ``CP_th``; per epoch, the winner is the threshold with the
+most LLC hits.  Fig. 8a aggregates the winner distribution across
+mixes while the NVM capacity degrades from 100 % towards 50 %; Fig. 8b
+shows the per-mix distribution at full capacity.
+
+Expected shape: at full capacity large thresholds (58/64) win most
+epochs but not all (~30 % of epochs prefer smaller values); as
+capacity shrinks, high-capacity frames become scarce and the optimum
+drifts to smaller thresholds — the motivation for Set Dueling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compression.encodings import CPTH_LADDER
+from ..core import make_policy
+from .common import ExperimentScale, aged_capacities, get_scale, run_one
+
+
+@dataclass
+class WinnerDistribution:
+    """Fraction of epochs each CP_th value was hit-optimal."""
+
+    label: str
+    shares: Dict[int, float]
+
+    def dominant(self) -> int:
+        return max(self.shares, key=lambda k: self.shares[k])
+
+    def share_below(self, cpth: int) -> float:
+        return sum(v for k, v in self.shares.items() if k < cpth)
+
+
+def _epoch_hits(result) -> List[int]:
+    return [e.hits for e in result.epochs if e.after_warmup]
+
+
+def winner_distribution(
+    label: str,
+    config,
+    workload,
+    capacities,
+    cpth_values: Sequence[int],
+    warmup_epochs: float,
+    measure_epochs: float,
+) -> WinnerDistribution:
+    """Per-epoch argmax over fixed-CP_th CA_RWR runs of one workload."""
+    per_cpth: Dict[int, List[int]] = {}
+    for cpth in cpth_values:
+        res = run_one(
+            config,
+            make_policy("ca_rwr", cpth=cpth),
+            workload,
+            warmup_epochs,
+            measure_epochs,
+            capacities=capacities,
+        )
+        per_cpth[cpth] = _epoch_hits(res)
+    n_epochs = min(len(v) for v in per_cpth.values())
+    counts = {cpth: 0 for cpth in cpth_values}
+    for e in range(n_epochs):
+        winner = max(cpth_values, key=lambda c: (per_cpth[c][e], c))
+        counts[winner] += 1
+    total = max(1, n_epochs)
+    return WinnerDistribution(
+        label=label, shares={c: counts[c] / total for c in cpth_values}
+    )
+
+
+def run_fig8a(
+    scale: Optional[ExperimentScale] = None,
+    capacities_pct: Sequence[int] = (100, 90, 80, 70, 60, 50),
+    mixes: Optional[Sequence[str]] = None,
+    cpth_values: Sequence[int] = CPTH_LADDER,
+    warmup_epochs: float = 5,
+    measure_epochs: float = 6,
+) -> List[WinnerDistribution]:
+    """Winner distribution vs NVM effective capacity (mix-aggregated)."""
+    scale = scale or get_scale()
+    mixes = tuple(mixes if mixes is not None else scale.mixes)
+    config = scale.system()
+    out: List[WinnerDistribution] = []
+    for pct in capacities_pct:
+        caps = aged_capacities(config, pct / 100.0)
+        shares = {c: 0.0 for c in cpth_values}
+        for mix in mixes:
+            dist = winner_distribution(
+                f"{pct}%/{mix}",
+                config,
+                scale.workload(mix),
+                caps,
+                cpth_values,
+                warmup_epochs,
+                measure_epochs,
+            )
+            for c in cpth_values:
+                shares[c] += dist.shares[c] / len(mixes)
+        out.append(WinnerDistribution(label=f"{pct}%", shares=shares))
+    return out
+
+
+def run_fig8b(
+    scale: Optional[ExperimentScale] = None,
+    mixes: Optional[Sequence[str]] = None,
+    cpth_values: Sequence[int] = CPTH_LADDER,
+    warmup_epochs: float = 5,
+    measure_epochs: float = 6,
+) -> List[WinnerDistribution]:
+    """Per-mix winner distribution at 100 % NVM capacity."""
+    scale = scale or get_scale()
+    mixes = tuple(mixes if mixes is not None else scale.mixes)
+    config = scale.system()
+    return [
+        winner_distribution(
+            mix,
+            config,
+            scale.workload(mix),
+            None,
+            cpth_values,
+            warmup_epochs,
+            measure_epochs,
+        )
+        for mix in mixes
+    ]

@@ -1,0 +1,77 @@
+"""Multi-seed repetition: mean and spread for any experiment metric.
+
+Scaled-down runs are noisier than the paper's 200M-cycle gem5 samples;
+when a comparison is close, repeat it over several workload seeds and
+report mean +/- population std.  The helper is deliberately generic —
+any callable mapping a seed to a dict of numeric metrics works.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Sequence
+
+MetricFn = Callable[[int], Mapping[str, float]]
+
+
+def run_with_seeds(fn: MetricFn, seeds: Sequence[int]) -> Dict[str, Dict[str, float]]:
+    """Run ``fn(seed)`` for each seed; aggregate per-metric statistics.
+
+    Returns ``{metric: {mean, std, min, max, n}}``; metrics missing
+    from some runs are aggregated over the runs that produced them.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: Dict[str, List[float]] = {}
+    for seed in seeds:
+        result = fn(seed)
+        for key, value in result.items():
+            samples.setdefault(key, []).append(float(value))
+
+    out: Dict[str, Dict[str, float]] = {}
+    for key, values in samples.items():
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / n
+        out[key] = {
+            "mean": mean,
+            "std": math.sqrt(var),
+            "min": min(values),
+            "max": max(values),
+            "n": float(n),
+        }
+    return out
+
+
+def significant_difference(
+    stats_a: Mapping[str, float], stats_b: Mapping[str, float], sigmas: float = 2.0
+) -> bool:
+    """Crude separation test: do the +/-``sigmas`` bands not overlap?"""
+    lo_a = stats_a["mean"] - sigmas * stats_a["std"]
+    hi_a = stats_a["mean"] + sigmas * stats_a["std"]
+    lo_b = stats_b["mean"] - sigmas * stats_b["std"]
+    hi_b = stats_b["mean"] + sigmas * stats_b["std"]
+    return hi_a < lo_b or hi_b < lo_a
+
+
+def policy_metric_fn(
+    scale, policy_name: str, mix: str, warmup_epochs: float = 6,
+    measure_epochs: float = 3, **policy_kwargs
+) -> MetricFn:
+    """A ready-made seed->metrics callable for one policy on one mix."""
+    from ..core import make_policy
+    from .common import run_one
+
+    config = scale.system()
+
+    def fn(seed: int) -> Dict[str, float]:
+        workload = scale.workload(mix, seed=seed)
+        res = run_one(config, make_policy(policy_name, **policy_kwargs),
+                      workload, warmup_epochs, measure_epochs)
+        return {
+            "ipc": res.mean_ipc,
+            "hit_rate": res.hit_rate,
+            "nvm_bytes": float(res.nvm_bytes_written),
+        }
+
+    return fn

@@ -1,0 +1,47 @@
+"""Tiny plain-text table formatting for experiment output.
+
+Benchmarks print the rows/series the paper reports; this keeps the
+formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_records(records: Sequence[Mapping[str, Cell]], title: str = "") -> str:
+    """Render a list of homogeneous dicts as a table."""
+    if not records:
+        return title + "\n(no data)" if title else "(no data)"
+    headers = list(records[0].keys())
+    rows = [[record.get(h) for h in headers] for record in records]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,74 @@
+"""Fig. 9 — hits vs NVM bytes written for the CP_SD_Th rule.
+
+Sweeps the hit-loss threshold ``Th`` of Eq. (1) at ``Tw = 5 %`` for
+NVM effective capacities of 100/90/80 %, everything normalised to BH
+at 100 % capacity.  Expected shape: raising ``Th`` trades a small
+number of hits for a much larger reduction in NVM bytes written, and
+the write reduction grows as the cache loses capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core import make_policy
+from .common import ExperimentScale, aged_capacities, get_scale, run_one
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    th: float
+    capacity_pct: int
+    hits_norm: float          # vs BH at 100 % capacity
+    nvm_bytes_norm: float     # vs BH at 100 % capacity
+
+
+def run_fig9(
+    scale: Optional[ExperimentScale] = None,
+    th_values: Sequence[float] = (0.0, 2.0, 4.0, 6.0, 8.0),
+    capacities_pct: Sequence[int] = (100, 90, 80),
+    tw: float = 5.0,
+    mixes: Optional[Sequence[str]] = None,
+    warmup_epochs: float = 6,
+    measure_epochs: float = 6,
+) -> List[TradeoffPoint]:
+    scale = scale or get_scale()
+    mixes = tuple(mixes if mixes is not None else scale.mixes)
+    config = scale.system()
+
+    # BH baseline at 100 % capacity, per mix
+    base = {}
+    for mix in mixes:
+        res = run_one(
+            config, make_policy("bh"), scale.workload(mix), warmup_epochs, measure_epochs
+        )
+        base[mix] = (max(1, res.llc_hits), max(1, res.nvm_bytes_written))
+
+    points: List[TradeoffPoint] = []
+    for pct in capacities_pct:
+        caps = aged_capacities(config, pct / 100.0) if pct < 100 else None
+        for th in th_values:
+            hit_norms: List[float] = []
+            byte_norms: List[float] = []
+            for mix in mixes:
+                policy = make_policy("cp_sd_th", th=th, tw=tw)
+                res = run_one(
+                    config,
+                    policy,
+                    scale.workload(mix),
+                    warmup_epochs,
+                    measure_epochs,
+                    capacities=caps,
+                )
+                hit_norms.append(res.llc_hits / base[mix][0])
+                byte_norms.append(res.nvm_bytes_written / base[mix][1])
+            points.append(
+                TradeoffPoint(
+                    th=th,
+                    capacity_pct=pct,
+                    hits_norm=sum(hit_norms) / len(hit_norms),
+                    nvm_bytes_norm=sum(byte_norms) / len(byte_norms),
+                )
+            )
+    return points

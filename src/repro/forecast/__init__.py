@@ -1,0 +1,25 @@
+"""Lifetime forecasting: aging model + simulate/predict alternation."""
+
+from .aging import AgingModel
+from .calibration import (
+    calibrated_lifetime_months,
+    paper_scale_months,
+    paper_scale_seconds,
+)
+from .forecaster import (
+    SECONDS_PER_MONTH,
+    ForecastPoint,
+    ForecastResult,
+    Forecaster,
+)
+
+__all__ = [
+    "AgingModel",
+    "calibrated_lifetime_months",
+    "paper_scale_months",
+    "paper_scale_seconds",
+    "ForecastPoint",
+    "ForecastResult",
+    "Forecaster",
+    "SECONDS_PER_MONTH",
+]

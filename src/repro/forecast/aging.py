@@ -1,0 +1,178 @@
+"""NVM aging model: per-byte endurance vs accumulated write wear.
+
+Under the intra-frame wear-leveling of Sec. III-B (block rearrangement
+plus the slowly rotating global counter), every *live* byte of a frame
+receives the same long-run write rate, so a frame's aging state
+collapses to a single scalar: the wear ``w`` accumulated by each of
+its live bytes.  A byte whose sampled endurance falls below ``w`` is
+dead; since only the order statistics of the endurance draws matter,
+each frame's endurance vector is kept sorted ascending.
+
+Byte-disabling advances ``w`` piecewise: writing ``B`` bytes to a
+frame with ``n`` live bytes adds ``B/n`` wear to each, and as bytes
+die the survivors absorb proportionally more wear — the loop below
+resolves those death boundaries exactly.
+
+Frame-disabling (BH, LHybrid, TAP) writes whole frames: wear counts
+writes, and the frame dies when its weakest byte gives out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import EnduranceConfig
+from ..nvm.endurance import sample_byte_endurance
+
+
+class AgingModel:
+    """Wear state of all NVM frames of one LLC."""
+
+    def __init__(
+        self,
+        endurance: EnduranceConfig,
+        n_sets: int,
+        nvm_ways: int,
+        block_size: int = 64,
+        granularity: str = "byte",
+        seed_offset: int = 0,
+    ) -> None:
+        if granularity not in ("byte", "frame"):
+            raise ValueError(f"bad granularity {granularity!r}")
+        self.n_sets = n_sets
+        self.nvm_ways = nvm_ways
+        self.block_size = block_size
+        self.granularity = granularity
+        self.n_frames = n_sets * nvm_ways
+        if self.n_frames:
+            self.endurance = sample_byte_endurance(
+                endurance, self.n_frames, block_size, seed_offset=seed_offset
+            )
+        else:
+            self.endurance = np.zeros((0, block_size))
+        #: per-live-byte wear (byte granularity) or frame write count
+        self.wear = np.zeros(self.n_frames, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    def live_counts(self) -> np.ndarray:
+        """Live bytes per frame, shape ``(n_frames,)``."""
+        if self.granularity == "frame":
+            alive = self.wear < self.endurance[:, 0]
+            return np.where(alive, self.block_size, 0)
+        deaths = np.sum(self.endurance <= self.wear[:, None], axis=1)
+        return self.block_size - deaths
+
+    def capacities(self) -> np.ndarray:
+        """Frame capacities shaped ``(n_sets, nvm_ways)`` for the fault map."""
+        return self.live_counts().reshape(self.n_sets, self.nvm_ways)
+
+    def effective_capacity(self) -> float:
+        """Fraction of original NVM byte capacity still usable."""
+        total = self.n_frames * self.block_size
+        if total == 0:
+            return 0.0
+        return float(self.live_counts().sum()) / total
+
+    # ------------------------------------------------------------------
+    # aging
+    # ------------------------------------------------------------------
+    def advance(self, rates: np.ndarray, dt_seconds: float) -> None:
+        """Age every frame by ``dt_seconds`` of the measured write rates.
+
+        ``rates`` has shape ``(n_sets, nvm_ways)``: bytes/s per frame
+        for byte granularity, frame-writes/s for frame granularity.
+        """
+        if dt_seconds < 0:
+            raise ValueError("dt_seconds must be non-negative")
+        totals = np.asarray(rates, dtype=np.float64).reshape(-1) * dt_seconds
+        if totals.shape != self.wear.shape:
+            raise ValueError(f"rates shape {rates.shape} does not match geometry")
+        if self.granularity == "frame":
+            self.wear += totals
+            return
+        self._advance_bytes(totals)
+
+    def _advance_bytes(self, total_bytes: np.ndarray) -> None:
+        wear = self.wear
+        endurance = self.endurance
+        block_size = self.block_size
+        budget = total_bytes.astype(np.float64).copy()
+        frame_ids = np.arange(self.n_frames)
+        for _ in range(block_size + 1):
+            active = budget > 0
+            if not active.any():
+                break
+            deaths = np.sum(endurance <= wear[:, None], axis=1)
+            live = block_size - deaths
+            budget[live == 0] = 0.0  # fully dead frames absorb nothing
+            active = budget > 0
+            if not active.any():
+                break
+            # dead frames are inactive (budget zeroed above); give them
+            # next_e == wear so the vector arithmetic stays finite
+            next_e = np.where(
+                live > 0,
+                endurance[frame_ids, np.minimum(deaths, block_size - 1)],
+                wear,
+            )
+            to_next_death = (next_e - wear) * live
+            finishes = active & (budget < to_next_death)
+            wear[finishes] += budget[finishes] / live[finishes]
+            budget[finishes] = 0.0
+            steps = active & ~finishes
+            wear[steps] = next_e[steps]
+            budget[steps] -= to_next_death[steps]
+
+    # ------------------------------------------------------------------
+    def time_to_capacity(
+        self,
+        rates: np.ndarray,
+        target_fraction: float,
+        max_seconds: float,
+        tolerance: float = 0.01,
+    ) -> Optional[float]:
+        """Seconds (at constant ``rates``) until capacity <= target.
+
+        Returns None if the target is not reached within ``max_seconds``
+        (e.g. a policy that barely writes the NVM part).  Uses an
+        exponential bracket plus bisection over cloned wear state.
+        """
+        if self.effective_capacity() <= target_fraction:
+            return 0.0
+
+        def capacity_after(dt: float) -> float:
+            probe = self.clone()
+            probe.advance(rates, dt)
+            return probe.effective_capacity()
+
+        lo, hi = 0.0, 3600.0
+        while capacity_after(hi) > target_fraction:
+            lo = hi
+            hi *= 4.0
+            if hi > max_seconds:
+                if capacity_after(max_seconds) > target_fraction:
+                    return None
+                hi = max_seconds
+                break
+        while hi - lo > tolerance * hi:
+            mid = 0.5 * (lo + hi)
+            if capacity_after(mid) > target_fraction:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def clone(self) -> "AgingModel":
+        other = object.__new__(AgingModel)
+        other.n_sets = self.n_sets
+        other.nvm_ways = self.nvm_ways
+        other.block_size = self.block_size
+        other.granularity = self.granularity
+        other.n_frames = self.n_frames
+        other.endurance = self.endurance  # immutable by convention
+        other.wear = self.wear.copy()
+        return other

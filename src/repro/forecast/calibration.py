@@ -1,0 +1,39 @@
+"""Scale calibration: translating scaled-run lifetimes to paper scale.
+
+Scaled experiments shrink caches and footprints by ``factor`` while
+keeping the per-core access rate (it is set by the instruction-gap
+model, not the cache size).  The NVM write traffic therefore spreads
+over ``factor`` times fewer frames, so every frame wears roughly
+``1/factor`` times faster and absolute lifetimes shrink by the same
+amount.  All of the paper's reported quantities are *ratios* and need
+no correction; this module exists for readers who want a rough
+absolute-months estimate next to them.
+
+The estimate is a first-order heuristic, not a claim: second-order
+effects (hit-rate differences across scales, burstiness) are not
+corrected.
+"""
+
+from __future__ import annotations
+
+from ..forecast.forecaster import SECONDS_PER_MONTH, ForecastResult
+
+
+def paper_scale_seconds(measured_seconds: float, factor: float) -> float:
+    """First-order paper-scale lifetime from a scaled measurement."""
+    if factor <= 0 or factor > 1:
+        raise ValueError("factor must be in (0, 1]")
+    return measured_seconds / factor
+
+
+def paper_scale_months(measured_seconds: float, factor: float) -> float:
+    return paper_scale_seconds(measured_seconds, factor) / SECONDS_PER_MONTH
+
+
+def calibrated_lifetime_months(
+    result: ForecastResult, factor: float, capacity: float = 0.5
+) -> float:
+    """Paper-scale estimate of a forecast's lifetime-to-``capacity``."""
+    return paper_scale_months(
+        result.lifetime_or_horizon_seconds(capacity), factor
+    )

@@ -1,0 +1,83 @@
+"""Run manifests: a JSON record that makes any result re-creatable.
+
+A reproduction is only as good as its provenance.  ``build_manifest``
+captures everything that determines a simulation's outcome — the full
+system configuration, the policy and its parameters, the workload
+composition, seeds, scale and library version — as a plain dict;
+``save_manifest``/``load_manifest`` round-trip it through JSON.  Every
+benchmark artefact can be regenerated from its manifest alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from . import __version__
+from .config import SystemConfig
+from .core.policy import InsertionPolicy
+from .engine import Workload
+
+PathLike = Union[str, Path]
+
+
+def _dataclass_dict(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _dataclass_dict(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_dataclass_dict(v) for v in obj]
+    return obj
+
+
+def describe_policy(policy: InsertionPolicy) -> Dict[str, Any]:
+    """Name, taxonomy and tunables of a policy instance."""
+    info: Dict[str, Any] = dict(policy.taxonomy())
+    for attr in ("cpth", "th", "tw", "hit_threshold", "decay_epochs",
+                 "migrate_on_eviction"):
+        if hasattr(policy, attr):
+            info[attr] = getattr(policy, attr)
+    if getattr(policy, "dueling_config", None) is not None:
+        info["dueling"] = _dataclass_dict(policy.dueling_config)
+    return info
+
+
+def describe_workload(workload: Workload) -> Dict[str, Any]:
+    """Apps, seeds and trace dimensions of a workload."""
+    return {
+        "seed": workload.seed,
+        "apps": [p.name for p in workload.profiles],
+        "trace_records_per_core": len(workload.traces[0]),
+        "footprints_blocks": [p.footprint_blocks for p in workload.profiles],
+        "n_phases": [p.n_phases for p in workload.profiles],
+    }
+
+
+def build_manifest(
+    config: SystemConfig,
+    policy: InsertionPolicy,
+    workload: Workload,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The complete provenance record of one run."""
+    manifest: Dict[str, Any] = {
+        "library": {"name": "repro", "version": __version__},
+        "system": _dataclass_dict(config),
+        "policy": describe_policy(policy),
+        "workload": describe_workload(workload),
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def save_manifest(manifest: Dict[str, Any], path: PathLike) -> None:
+    Path(path).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+
+
+def load_manifest(path: PathLike) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,38 @@
+"""NVM fault-tolerance substrate: endurance, fault maps, wear, SECDED."""
+
+from .endurance import frame_endurance, sample_byte_endurance
+from .faultmap import FaultMap
+from .leveling import (
+    GlobalCounterLeveling,
+    HashedStart,
+    NoLeveling,
+    PerFrameRotation,
+    WearLevelingStrategy,
+    simulate_frame_wear,
+    wear_imbalance,
+)
+from .rearrangement import DONT_CARE, gather, index_vector, scatter
+from .secded import NVM_DATA_CODE, DecodeResult, SECDED
+from .wear import GlobalWearCounter, WearTracker
+
+__all__ = [
+    "DONT_CARE",
+    "DecodeResult",
+    "FaultMap",
+    "GlobalCounterLeveling",
+    "GlobalWearCounter",
+    "HashedStart",
+    "NoLeveling",
+    "PerFrameRotation",
+    "WearLevelingStrategy",
+    "simulate_frame_wear",
+    "wear_imbalance",
+    "NVM_DATA_CODE",
+    "SECDED",
+    "WearTracker",
+    "frame_endurance",
+    "gather",
+    "index_vector",
+    "sample_byte_endurance",
+    "scatter",
+]

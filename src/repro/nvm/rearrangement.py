@@ -1,0 +1,83 @@
+"""Functional model of the block-rearrangement circuitry (Sec. III-B, Fig. 5).
+
+The circuitry scatters an extended compressed block (ECB) over the
+non-faulty bytes of a target frame, starting at the position named by
+the global wear-leveling counter, producing the rearranged ECB (RECB)
+plus a selective write mask; reading inverts the permutation.  The
+hardware computes an index vector with a parallel tree adder and routes
+bytes through a crossbar; here both reduce to the same permutation,
+computed directly.
+
+The hot simulation path never calls this module (wear accounting only
+needs byte *counts*); it exists to validate the mechanism, to serve the
+examples, and to let tests check the scatter/gather inverse property.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+DONT_CARE = -1
+
+
+def index_vector(live_mask: np.ndarray, start: int, ecb_size: int) -> np.ndarray:
+    """Index vector I of Fig. 5c.
+
+    ``I[pos] = k`` means ECB byte ``k`` is stored at frame byte ``pos``;
+    positions that receive no ECB byte (faulty, or beyond the ECB) hold
+    :data:`DONT_CARE`.  Frame positions are visited in rotation order
+    beginning at ``start`` (the wear-leveling counter), skipping faulty
+    bytes, exactly as the index-generator tree adder does.
+    """
+    block_size = len(live_mask)
+    live_count = int(np.count_nonzero(live_mask))
+    if ecb_size > live_count:
+        raise ValueError(
+            f"ECB of {ecb_size} bytes cannot fit frame with {live_count} live bytes"
+        )
+    if not 0 <= start < block_size:
+        raise ValueError(f"counter {start} out of range")
+    indices = np.full(block_size, DONT_CARE, dtype=np.int16)
+    k = 0
+    for step in range(block_size):
+        if k >= ecb_size:
+            break
+        pos = (start + step) % block_size
+        if live_mask[pos]:
+            indices[pos] = k
+            k += 1
+    return indices
+
+
+def scatter(
+    ecb: bytes, live_mask: np.ndarray, start: int
+) -> Tuple[bytearray, np.ndarray]:
+    """Write path (Fig. 5c): ECB -> (RECB, write mask).
+
+    Returns the sparse 64-byte RECB (don't-care bytes zeroed) and the
+    boolean write mask used for selective writing — the mask is what
+    the wear model charges.
+    """
+    indices = index_vector(live_mask, start, len(ecb))
+    block_size = len(live_mask)
+    recb = bytearray(block_size)
+    write_mask = np.zeros(block_size, dtype=bool)
+    for pos in range(block_size):
+        k = indices[pos]
+        if k != DONT_CARE:
+            recb[pos] = ecb[k]
+            write_mask[pos] = True
+    return recb, write_mask
+
+
+def gather(recb: bytes, live_mask: np.ndarray, start: int, ecb_size: int) -> bytes:
+    """Read path (Fig. 5d): RECB -> ECB, inverting :func:`scatter`."""
+    indices = index_vector(live_mask, start, ecb_size)
+    out = bytearray(ecb_size)
+    for pos in range(len(live_mask)):
+        k = indices[pos]
+        if k != DONT_CARE:
+            out[k] = recb[pos]
+    return bytes(out)

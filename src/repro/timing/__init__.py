@@ -1,0 +1,6 @@
+"""Timing substrate: analytical core model and latency accounting."""
+
+from .core_model import AnalyticalCore
+from .energy import EnergyBreakdown, EnergyModel, EnergyParams
+
+__all__ = ["AnalyticalCore", "EnergyBreakdown", "EnergyModel", "EnergyParams"]

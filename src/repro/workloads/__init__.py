@@ -1,0 +1,45 @@
+"""Synthetic SPEC-like workloads: profiles, mixes, traces, data model."""
+
+from .data import DataModel
+from .generator import AppTraceGenerator
+from .mixes import MIX_NAMES, MIXES, mix_profiles
+from .profiles import APP_NAMES, PROFILES, AppProfile, make_comp_weights, profile
+from .synthetic import (
+    homogeneous_mix,
+    incompressible_profile,
+    looping_profile,
+    pointer_chase_profile,
+    scanning_profile,
+    streaming_profile,
+    write_heavy_profile,
+)
+from .trace import CORE_ADDR_SHIFT, MaterializedTrace, TraceRecord, materialize
+from .traceio import load_trace, load_trace_csv, save_trace, save_trace_csv
+
+__all__ = [
+    "APP_NAMES",
+    "AppProfile",
+    "AppTraceGenerator",
+    "CORE_ADDR_SHIFT",
+    "DataModel",
+    "MIXES",
+    "MIX_NAMES",
+    "MaterializedTrace",
+    "PROFILES",
+    "TraceRecord",
+    "homogeneous_mix",
+    "incompressible_profile",
+    "load_trace",
+    "load_trace_csv",
+    "looping_profile",
+    "make_comp_weights",
+    "materialize",
+    "mix_profiles",
+    "pointer_chase_profile",
+    "save_trace",
+    "save_trace_csv",
+    "profile",
+    "scanning_profile",
+    "streaming_profile",
+    "write_heavy_profile",
+]

@@ -1,0 +1,138 @@
+"""Region-based synthetic trace generator.
+
+Each application owns a disjoint slice of the block address space
+(``core_id << CORE_ADDR_SHIFT``) laid out as five regions::
+
+    [ loop | scan | rw | random | stream ........................ ]
+
+Every generated access first picks a region by the profile's weights,
+then behaves like that region:
+
+* ``loop``   — tight sequential sweep over a small region; repeat
+  references arrive well within SRAM residency, producing the clean
+  LLC read hits that LHybrid and CA_RWR promote to NVM (loop-blocks);
+* ``scan``   — medium cyclic sweep whose reuse distance exceeds the
+  SRAM part but fits a 16-way LLC; BH retains this class while
+  SRAM-first policies evict it before it can prove reuse;
+* ``rw``     — read-modify-write over a small hot set, generating
+  dirty, write-reused blocks;
+* ``random`` — uniform pointer-chasing over a large region (sparse
+  reuse);
+* ``stream`` — an ever-advancing pointer over the large remainder of
+  the footprint (reuse distance >> LLC), the thrashing traffic TAP
+  deflects to SRAM.
+
+Gaps between accesses are exponential with the profile's mean, giving
+the analytical core model a realistic arrival process.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from .profiles import AppProfile
+from .trace import CORE_ADDR_SHIFT, TraceRecord
+
+_LOOP, _SCAN, _STREAM, _RW, _RANDOM = range(5)
+
+
+class AppTraceGenerator:
+    """Infinite trace for one application pinned to one core."""
+
+    def __init__(self, profile: AppProfile, core_id: int, seed: int = 0) -> None:
+        self.profile = profile
+        self.core_id = core_id
+        self.base = core_id << CORE_ADDR_SHIFT
+        self._rng = random.Random((seed << 8) ^ (core_id * 0x9E3779B1) ^ 0xC0FFEE)
+
+        # Region layout within the app's address slice.  The loop, scan
+        # and rw regions own one address slot per program phase; every
+        # ``phase_accesses`` accesses the generator rotates to the next
+        # slot, shifting the hot working set (SPEC phase behaviour).
+        n_phases = profile.n_phases
+        self._loop_base = self.base
+        self._scan_base = self._loop_base + n_phases * profile.loop_blocks
+        self._rw_base = self._scan_base + n_phases * profile.scan_blocks
+        self._random_base = self._rw_base + n_phases * profile.rw_blocks
+        self._stream_base = self._random_base + profile.random_blocks
+        stream_blocks = profile.footprint_blocks - profile.phased_region_blocks
+        self._stream_blocks = max(1024, stream_blocks)
+        self._phase = 0
+        self._accesses_left_in_phase = profile.phase_accesses
+
+        # cumulative region weights (loop, scan, stream, rw, random)
+        weights = profile.region_weights
+        total = sum(weights)
+        acc = 0.0
+        self._cum = []
+        for weight in weights:
+            acc += weight / total
+            self._cum.append(acc)
+
+        self._loop_pos = 0
+        self._scan_pos = 0
+        self._stream_pos = 0
+        self._rw_pending_write = 0  # address owed a write (read-modify-write)
+
+    # ------------------------------------------------------------------
+    def _gap(self) -> int:
+        return int(self._rng.expovariate(1.0 / self.profile.gap_mean))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return self
+
+    def _advance_phase(self) -> None:
+        self._phase = (self._phase + 1) % self.profile.n_phases
+        self._accesses_left_in_phase = self.profile.phase_accesses
+        self._loop_pos = 0
+        self._scan_pos = 0
+
+    def __next__(self) -> TraceRecord:
+        rng = self._rng
+        profile = self.profile
+
+        self._accesses_left_in_phase -= 1
+        if self._accesses_left_in_phase <= 0:
+            self._advance_phase()
+        phase = self._phase
+
+        if self._rw_pending_write:
+            addr = self._rw_pending_write
+            self._rw_pending_write = 0
+            return TraceRecord(self._gap(), addr, True)
+
+        u = rng.random()
+        cum = self._cum
+        if u < cum[_LOOP]:
+            addr = self._loop_base + phase * profile.loop_blocks + self._loop_pos
+            self._loop_pos += 1
+            if self._loop_pos >= profile.loop_blocks:
+                self._loop_pos = 0
+            return TraceRecord(self._gap(), addr, False)
+        if u < cum[_SCAN]:
+            addr = self._scan_base + phase * profile.scan_blocks + self._scan_pos
+            self._scan_pos += 1
+            if self._scan_pos >= profile.scan_blocks:
+                self._scan_pos = 0
+            return TraceRecord(self._gap(), addr, False)
+        if u < cum[_STREAM]:
+            addr = self._stream_base + self._stream_pos
+            self._stream_pos += 1
+            if self._stream_pos >= self._stream_blocks:
+                self._stream_pos = 0
+            is_write = rng.random() < profile.stream_write_frac
+            return TraceRecord(self._gap(), addr, is_write)
+        if u < cum[_RW]:
+            addr = (
+                self._rw_base
+                + phase * profile.rw_blocks
+                + rng.randrange(profile.rw_blocks)
+            )
+            if rng.random() < profile.rw_write_frac:
+                # read-modify-write: the write follows on the next record
+                self._rw_pending_write = addr
+            return TraceRecord(self._gap(), addr, False)
+        addr = self._random_base + rng.randrange(profile.random_blocks)
+        is_write = rng.random() < profile.random_write_frac
+        return TraceRecord(self._gap(), addr, is_write)

@@ -1,0 +1,37 @@
+"""The ten multi-programmed workloads of Table V.
+
+Each mix runs four applications, one per core, randomly drawn by the
+authors from the memory-intensive subset of SPEC CPU 2006 and 2017.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .profiles import AppProfile, profile
+
+MIXES: Dict[str, Tuple[str, str, str, str]] = {
+    "mix1": ("zeusmp06", "gobmk06", "dealII06", "bzip206"),
+    "mix2": ("hmmer06", "bzip206", "wrf06", "roms17"),
+    "mix3": ("zeusmp06", "cactuBSSN17", "hmmer06", "soplex06"),
+    "mix4": ("omnetpp06", "astar06", "milc06", "libquantum06"),
+    "mix5": ("xalancbmk06", "leslie3d06", "bwaves17", "mcf17"),
+    "mix6": ("lbm17", "xz17", "GemsFDTD06", "wrf06"),
+    "mix7": ("cactuBSSN17", "dealII06", "libquantum06", "xalancbmk06"),
+    "mix8": ("gobmk06", "milc06", "mcf17", "lbm17"),
+    "mix9": ("xz17", "astar06", "bwaves17", "soplex06"),
+    "mix10": ("GemsFDTD06", "omnetpp06", "roms17", "leslie3d06"),
+}
+
+MIX_NAMES: Tuple[str, ...] = tuple(MIXES)
+
+
+def mix_profiles(mix_name: str) -> List[AppProfile]:
+    """The four per-core application profiles of a mix."""
+    try:
+        apps = MIXES[mix_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mix {mix_name!r}; known: {list(MIXES)}"
+        ) from None
+    return [profile(name) for name in apps]

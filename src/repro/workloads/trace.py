@@ -1,0 +1,56 @@
+"""Trace record types and players.
+
+A trace is a sequence of ``(gap, block_addr, is_write)`` records: the
+number of non-memory instructions since the previous access, the
+block-aligned address (already shifted by log2(64)), and the access
+type.  Generators yield records lazily; a :class:`MaterializedTrace`
+freezes a prefix into a list so the *same* reference stream can be
+replayed against many policies (the per-figure sweeps depend on this).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, NamedTuple, Sequence
+
+#: Address bits reserved per core: app address spaces are disjoint,
+#: mirroring multi-programmed (no-sharing) SPEC mixes.
+CORE_ADDR_SHIFT = 28
+
+
+class TraceRecord(NamedTuple):
+    gap: int
+    addr: int
+    is_write: bool
+
+
+class MaterializedTrace:
+    """A finite trace replayed cyclically (the workload loops forever)."""
+
+    def __init__(self, records: Sequence[TraceRecord]) -> None:
+        if not records:
+            raise ValueError("empty trace")
+        self.records: List[TraceRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def player(self) -> Iterator[TraceRecord]:
+        """Infinite iterator cycling through the records."""
+        records = self.records
+        while True:
+            yield from records
+
+    def footprint(self) -> int:
+        return len({r.addr for r in self.records})
+
+    def write_fraction(self) -> float:
+        return sum(1 for r in self.records if r.is_write) / len(self.records)
+
+
+def materialize(source: Iterable[TraceRecord], n_records: int) -> MaterializedTrace:
+    """Capture the first ``n_records`` records of a generator."""
+    records: List[TraceRecord] = []
+    it = iter(source)
+    for _ in range(n_records):
+        records.append(next(it))
+    return MaterializedTrace(records)

@@ -1,0 +1,93 @@
+"""Cross-validation of the vectorised aging model against a naive
+per-event reference implementation.
+
+The production model collapses each frame's wear to one scalar (valid
+under intra-frame leveling) and resolves byte-death boundaries with
+vector arithmetic; the reference below distributes every single byte
+write explicitly.  Both must agree on live-byte counts for any write
+schedule — this is the strongest correctness check the forecaster
+rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EnduranceConfig
+from repro.forecast.aging import AgingModel
+
+
+def reference_live_count(endurance_sorted: np.ndarray, total_bytes: float) -> int:
+    """Distribute ``total_bytes`` one unit at a time, evenly over the
+    currently-live bytes (what perfect leveling converges to)."""
+    wear = 0.0
+    remaining = float(total_bytes)
+    values = list(endurance_sorted)
+    live = len(values)
+    dead = 0
+    while remaining > 1e-9 and live > 0:
+        next_death = values[dead] - wear
+        budget_to_death = next_death * live
+        if remaining < budget_to_death:
+            wear += remaining / live
+            remaining = 0.0
+        else:
+            remaining -= budget_to_death
+            wear = values[dead]
+            dead += 1
+            live -= 1
+        # consume ties
+        while dead < len(values) and values[dead] <= wear:
+            dead += 1
+            live -= 1
+    return live
+
+
+@given(
+    total=st.floats(min_value=0.0, max_value=5e5),
+    seed=st.integers(0, 1000),
+    cv=st.floats(min_value=0.05, max_value=0.4),
+)
+@settings(max_examples=80, deadline=None)
+def test_vectorised_matches_reference_single_frame(total, seed, cv):
+    cfg = EnduranceConfig(mean=1000.0, cv=cv, seed=seed)
+    model = AgingModel(cfg, 1, 1)
+    model.advance(np.array([[total]]), 1.0)
+    expected = reference_live_count(model.endurance[0], total)
+    assert model.live_counts()[0] == expected
+
+
+@given(
+    chunks=st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=8),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=60, deadline=None)
+def test_incremental_advance_equals_one_shot(chunks, seed):
+    """Aging in k steps must equal aging once with the summed volume."""
+    cfg = EnduranceConfig(mean=1000.0, cv=0.2, seed=seed)
+    stepped = AgingModel(cfg, 1, 1)
+    for chunk in chunks:
+        stepped.advance(np.array([[chunk]]), 1.0)
+    oneshot = AgingModel(cfg, 1, 1)
+    oneshot.advance(np.array([[sum(chunks)]]), 1.0)
+    assert stepped.live_counts()[0] == oneshot.live_counts()[0]
+    assert stepped.wear[0] == pytest.approx(oneshot.wear[0], rel=1e-9, abs=1e-6)
+
+
+@given(
+    rates=st.lists(st.floats(min_value=0.0, max_value=200.0), min_size=4, max_size=4),
+    seed=st.integers(0, 300),
+)
+@settings(max_examples=40, deadline=None)
+def test_multi_frame_independence(rates, seed):
+    """Frames age independently: batching them must equal per-frame."""
+    cfg = EnduranceConfig(mean=500.0, cv=0.25, seed=seed)
+    batched = AgingModel(cfg, 2, 2)
+    batched.advance(np.array(rates).reshape(2, 2), 100.0)
+    for i, rate in enumerate(rates):
+        solo = AgingModel(cfg, 2, 2)
+        single = np.zeros((2, 2))
+        single[i // 2, i % 2] = rate
+        solo.advance(single, 100.0)
+        assert solo.live_counts()[i] == batched.live_counts()[i]

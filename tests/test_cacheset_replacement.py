@@ -1,0 +1,157 @@
+"""Tests for the LLC set structure and the (fit-)LRU helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import ReuseClass
+from repro.cache.cacheset import NVM, SRAM, CacheSet
+from repro.cache.replacement import (
+    fit_lru_victim,
+    lru_victim,
+    mru_victim_where,
+    usable_invalid_way,
+)
+
+
+def make_set(sram=4, nvm=12):
+    return CacheSet(0, sram, nvm)
+
+
+def fill_way(cs, way, addr, dirty=False, csize=64, ecb=64, reuse=ReuseClass.NONE):
+    cs.insert(way, addr, dirty, csize, ecb, reuse)
+
+
+def test_part_mapping():
+    cs = make_set(4, 12)
+    assert cs.part_of(0) == SRAM
+    assert cs.part_of(3) == SRAM
+    assert cs.part_of(4) == NVM
+    assert cs.part_of(15) == NVM
+    assert cs.nvm_way(4) == 0
+    assert cs.nvm_way(15) == 11
+    with pytest.raises(ValueError):
+        cs.nvm_way(2)
+
+
+def test_insert_find_evict():
+    cs = make_set()
+    fill_way(cs, 5, addr=100, dirty=True, csize=30, ecb=32, reuse=ReuseClass.READ)
+    assert cs.find(100) == 5
+    addr, dirty, csize, reuse = cs.evict(5)
+    assert (addr, dirty, csize, reuse) == (100, True, 30, ReuseClass.READ)
+    assert cs.find(100) is None
+    assert cs.recency == []
+
+
+def test_double_insert_rejected():
+    cs = make_set()
+    fill_way(cs, 0, 1)
+    with pytest.raises(ValueError):
+        fill_way(cs, 0, 2)
+
+
+def test_evict_empty_rejected():
+    cs = make_set()
+    with pytest.raises(ValueError):
+        cs.evict(0)
+
+
+def test_touch_moves_to_mru():
+    cs = make_set()
+    fill_way(cs, 0, 10)
+    fill_way(cs, 1, 11)
+    fill_way(cs, 2, 12)
+    cs.touch(0)
+    assert cs.recency == [1, 2, 0]
+    cs.touch(0)  # already MRU: no change
+    assert cs.recency == [1, 2, 0]
+
+
+def test_lru_victim_respects_subset():
+    cs = make_set(2, 2)
+    for way, addr in enumerate((10, 11, 12, 13)):
+        fill_way(cs, way, addr)
+    assert lru_victim(cs, range(0, 2)) == 0
+    assert lru_victim(cs, range(2, 4)) == 2
+    cs.touch(0)
+    assert lru_victim(cs, range(0, 2)) == 1
+    assert lru_victim(cs, []) is None
+
+
+def test_fit_lru_skips_small_frames():
+    cs = make_set(0, 4)
+    capacities = {0: 64, 1: 20, 2: 40, 3: 64}
+    for way in range(4):
+        fill_way(cs, way, 100 + way)
+
+    def cap(cache_set, way):
+        return capacities[way]
+
+    # LRU order is 0,1,2,3; a 32-byte block skips way 1 (20 B)
+    assert fit_lru_victim(cs, range(4), 32, cap) == 0
+    cs.touch(0)
+    assert fit_lru_victim(cs, range(4), 32, cap) == 2
+    # nothing can hold 65 bytes
+    assert fit_lru_victim(cs, range(4), 65, cap) is None
+
+
+def test_usable_invalid_way_fit_aware():
+    cs = make_set(0, 3)
+    capacities = {0: 10, 1: 30, 2: 64}
+
+    def cap(cache_set, way):
+        return capacities[way]
+
+    assert usable_invalid_way(cs, NVM, 25, cap) == 1
+    fill_way(cs, 1, 50)
+    assert usable_invalid_way(cs, NVM, 25, cap) == 2
+    assert usable_invalid_way(cs, NVM, 65, cap) is None
+
+
+def test_mru_victim_where():
+    cs = make_set(4, 0)
+    fill_way(cs, 0, 10, reuse=ReuseClass.READ)
+    fill_way(cs, 1, 11, reuse=ReuseClass.NONE)
+    fill_way(cs, 2, 12, reuse=ReuseClass.READ)
+    fill_way(cs, 3, 13, reuse=ReuseClass.WRITE)
+    # most recent read-reused block is way 2
+    way = mru_victim_where(cs, range(4), lambda w: cs.reuse[w] is ReuseClass.READ)
+    assert way == 2
+    assert (
+        mru_victim_where(cs, range(4), lambda w: cs.csize[w] == 1) is None
+    )
+
+
+def test_occupancy_per_part():
+    cs = make_set(2, 2)
+    fill_way(cs, 0, 1)
+    fill_way(cs, 3, 2)
+    assert cs.occupancy(SRAM) == 1
+    assert cs.occupancy(NVM) == 1
+    assert cs.invalid_way(SRAM) == 1
+    assert cs.invalid_way(NVM) == 2
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_recency_is_permutation_of_valid_ways(addr_stream):
+    """Property: recency always lists exactly the valid ways, once."""
+    cs = make_set(2, 2)
+    for addr in addr_stream:
+        way = cs.find(addr)
+        if way is not None:
+            cs.touch(way)
+            continue
+        way = cs.invalid_way(SRAM)
+        if way is None:
+            way = cs.invalid_way(NVM)
+        if way is None:
+            way = lru_victim(cs, range(cs.total_ways))
+            cs.evict(way)
+        cs.insert(way, addr, False, 64, 64, ReuseClass.NONE)
+    valid = [w for w in range(cs.total_ways) if cs.tags[w] is not None]
+    assert sorted(cs.recency) == sorted(valid)
+    assert len(cs.way_of) == len(valid)
+    # a block is never resident in two ways
+    assert len(set(cs.way_of.values())) == len(cs.way_of)

@@ -1,0 +1,37 @@
+"""Tests for scale calibration helpers."""
+
+import pytest
+
+from repro.forecast import ForecastPoint, ForecastResult, SECONDS_PER_MONTH
+from repro.forecast.calibration import (
+    calibrated_lifetime_months,
+    paper_scale_months,
+    paper_scale_seconds,
+)
+
+
+def test_scaling_is_inverse_of_factor():
+    assert paper_scale_seconds(10.0, 1 / 16) == pytest.approx(160.0)
+    assert paper_scale_seconds(10.0, 1.0) == 10.0
+
+
+def test_months_conversion():
+    assert paper_scale_months(SECONDS_PER_MONTH, 0.5) == pytest.approx(2.0)
+
+
+def test_factor_validation():
+    with pytest.raises(ValueError):
+        paper_scale_seconds(1.0, 0.0)
+    with pytest.raises(ValueError):
+        paper_scale_seconds(1.0, 2.0)
+
+
+def test_calibrated_lifetime_from_result():
+    points = [
+        ForecastPoint(0.0, 1.0, 1.0, 0.5, 1.0),
+        ForecastPoint(100.0, 0.4, 1.0, 0.5, 1.0),
+    ]
+    result = ForecastResult("x", points, reached_stop=True, horizon_seconds=100.0)
+    months = calibrated_lifetime_months(result, 1 / 16)
+    expected = result.lifetime_seconds(0.5) / (1 / 16) / SECONDS_PER_MONTH
+    assert months == pytest.approx(expected)

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _policy_args, build_parser, main
+
+
+def test_policy_spec_parsing():
+    assert _policy_args("cp_sd") == ("cp_sd", {})
+    assert _policy_args("ca_rwr:cpth=37") == ("ca_rwr", {"cpth": 37})
+    assert _policy_args("cp_sd_th:th=8,tw=5") == ("cp_sd_th", {"th": 8, "tw": 5})
+    assert _policy_args("cp_sd_th:th=4.5") == ("cp_sd_th", {"th": 4.5})
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "cp_sd" in out and "mix10" in out and "zeusmp06" in out
+
+
+def test_simulate_command(capsys):
+    rc = main(
+        [
+            "--scale", "smoke",
+            "simulate", "--mix", "mix1", "--policy", "bh",
+            "--epochs", "1", "--warmup-epochs", "1",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mean IPC" in out and "NVM bytes written" in out
+
+
+def test_figure_command_table(capsys):
+    assert main(["--scale", "smoke", "figure", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "B8D7" in out
+
+
+def test_figure_command_unknown(capsys):
+    assert main(["--scale", "smoke", "figure", "fig99"]) == 2
+
+
+def test_ablation_command_unknown(capsys):
+    assert main(["--scale", "smoke", "ablation", "nope"]) == 2

@@ -1,0 +1,177 @@
+"""Unit and property-based tests for the BDI compressor."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.base import CompressionResult
+from repro.compression.bdi import (
+    BDICompressor,
+    DEFAULT_COMPRESSOR,
+    compressed_size,
+    signed_bytes_needed,
+)
+from repro.compression.encodings import BLOCK_SIZE
+
+bdi = BDICompressor()
+
+
+def roundtrip(block: bytes) -> CompressionResult:
+    result = bdi.compress(block)
+    assert bdi.decompress(result) == block
+    return result
+
+
+# ----------------------------------------------------------------------
+# deterministic cases
+# ----------------------------------------------------------------------
+def test_zero_block():
+    result = roundtrip(bytes(64))
+    assert result.encoding.name == "ZERO"
+    assert result.size == 1
+
+
+def test_repeated_8byte_value():
+    block = (0xDEADBEEFCAFEF00D).to_bytes(8, "little") * 8
+    result = roundtrip(block)
+    assert result.encoding.name == "REP8"
+    assert result.size == 8
+
+
+def test_base8_delta1():
+    base = 1 << 40
+    values = [base + d for d in (0, 1, -5, 100, 127, -128, 3, 7)]
+    block = b"".join(v.to_bytes(8, "little") for v in values)
+    result = roundtrip(block)
+    assert result.encoding.name == "B8D1"
+    assert result.size == 16
+
+
+def test_base8_delta4():
+    base = 1 << 50
+    deltas = (0, 1 << 30, -(1 << 31), 5, -9, 1 << 20, 3, 2**31 - 1)
+    block = b"".join(((base + d) & (2**64 - 1)).to_bytes(8, "little") for d in deltas)
+    result = roundtrip(block)
+    assert result.encoding.name == "B8D4"
+    assert result.size == 37
+
+
+def test_base4_delta1_preferred_over_base8():
+    """Sixteen nearby 4-byte values: B4D1 (20 B) beats B8D2 (23 B)."""
+    base = 0x40000000
+    rng = random.Random(1)
+    values = [base + rng.randint(-50, 50) for _ in range(16)]
+    block = b"".join(v.to_bytes(4, "little") for v in values)
+    result = roundtrip(block)
+    assert result.encoding.name == "B4D1"
+    assert result.size == 20
+
+
+def test_base2_delta1():
+    rng = random.Random(7)
+    base = 0x4000
+    values = [base] + [base + rng.randint(-120, 120) for _ in range(31)]
+    block = b"".join(v.to_bytes(2, "little") for v in values)
+    result = roundtrip(block)
+    # 34 bytes (B2D1) unless a cheaper family also applies
+    assert result.size <= 34
+
+
+def test_incompressible_random_block():
+    rng = random.Random(42)
+    block = bytes(rng.getrandbits(8) for _ in range(64))
+    result = roundtrip(block)
+    assert result.encoding.name == "UNCOMPRESSED"
+    assert result.size == 64
+
+
+def test_wrong_block_size_rejected():
+    with pytest.raises(ValueError):
+        bdi.compress(b"\x00" * 63)
+    with pytest.raises(ValueError):
+        bdi.compress(b"\x00" * 65)
+
+
+def test_default_compressor_singleton():
+    assert compressed_size(bytes(64)) == 1
+    assert DEFAULT_COMPRESSOR.compress(bytes(64)).encoding.name == "ZERO"
+
+
+def test_payload_length_matches_encoding():
+    base = 1 << 33
+    block = b"".join((base + i).to_bytes(8, "little") for i in range(8))
+    result = bdi.compress(block)
+    assert len(result.payload) == result.size
+
+
+# ----------------------------------------------------------------------
+# signed_bytes_needed
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "delta,expected",
+    [
+        (0, 1),
+        (127, 1),
+        (128, 2),
+        (-128, 1),
+        (-129, 2),
+        (32767, 2),
+        (32768, 3),
+        (-32768, 2),
+        (2**31 - 1, 4),
+        (-(2**31), 4),
+    ],
+)
+def test_signed_bytes_needed(delta, expected):
+    assert signed_bytes_needed(delta) == expected
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+def test_signed_bytes_needed_roundtrips(delta):
+    n = signed_bytes_needed(delta)
+    assert delta.to_bytes(n, "little", signed=True)
+    if n > 1:
+        with pytest.raises(OverflowError):
+            delta.to_bytes(n - 1, "little", signed=True)
+
+
+# ----------------------------------------------------------------------
+# property-based round-trips
+# ----------------------------------------------------------------------
+@given(st.binary(min_size=64, max_size=64))
+@settings(max_examples=300)
+def test_roundtrip_arbitrary_blocks(block):
+    result = bdi.compress(block)
+    assert bdi.decompress(result) == block
+    assert 1 <= result.size <= BLOCK_SIZE
+
+
+@given(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=7, max_size=7),
+)
+@settings(max_examples=200)
+def test_roundtrip_delta1_family(base, deltas):
+    mask = 2**64 - 1
+    values = [base] + [(base + d) & mask for d in deltas]
+    block = b"".join(v.to_bytes(8, "little") for v in values)
+    result = bdi.compress(block)
+    assert bdi.decompress(result) == block
+    assert result.size <= 34  # at worst B2D1/B8D2-level for this family
+
+
+@given(st.binary(min_size=64, max_size=64))
+@settings(max_examples=200)
+def test_compression_never_worse_than_uncompressed(block):
+    assert bdi.compress(block).size <= BLOCK_SIZE
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1))
+def test_all_equal_words_compress_tiny(word):
+    block = word.to_bytes(2, "little") * 32
+    result = bdi.compress(block)
+    assert result.size <= 8  # ZERO or REP8
+    assert bdi.decompress(result) == block

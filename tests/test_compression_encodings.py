@@ -1,0 +1,104 @@
+"""Tests for the modified-BDI encoding table (Table I)."""
+
+import pytest
+
+from repro.compression.encodings import (
+    ALL_ENCODINGS,
+    BLOCK_SIZE,
+    CPTH_LADDER,
+    ECB_OVERHEAD_BYTES,
+    ENCODING_SIZES,
+    ENCODINGS_BY_CE,
+    ENCODINGS_BY_NAME,
+    HCR_LIMIT,
+    best_fit_encoding,
+    classify,
+    ecb_size,
+)
+
+
+def test_block_size_is_64():
+    assert BLOCK_SIZE == 64
+
+
+def test_hcr_boundary_is_37():
+    # Sec. II-B: blocks with compressed size <= 37 are HCR.
+    assert HCR_LIMIT == 37
+
+
+def test_base8_family_matches_paper_ladder():
+    """The B8 sizes must produce the CP_th ladder the paper sweeps."""
+    sizes = [ENCODINGS_BY_NAME[f"B8D{d}"].size for d in range(1, 8)]
+    assert sizes == [16, 23, 30, 37, 44, 51, 58]
+
+
+def test_cpth_ladder_values():
+    assert CPTH_LADDER == (30, 37, 44, 51, 58, 64)
+    for value in CPTH_LADDER:
+        assert value == 64 or value in ENCODING_SIZES
+
+
+def test_special_encoding_sizes():
+    assert ENCODINGS_BY_NAME["ZERO"].size == 1
+    assert ENCODINGS_BY_NAME["REP8"].size == 8
+    assert ENCODINGS_BY_NAME["UNCOMPRESSED"].size == 64
+
+
+def test_b8d7_fits_frame_with_one_dead_byte():
+    """Sec. III-B: encodings B8D7 and above (<=58 B) fit 63 live bytes."""
+    enc = ENCODINGS_BY_NAME["B8D7"]
+    assert ecb_size(enc.size) <= 63
+
+
+def test_ce_identifiers_unique_and_4bit():
+    ces = [e.ce for e in ALL_ENCODINGS]
+    assert len(set(ces)) == len(ces)
+    assert all(0 <= ce < 16 for ce in ces)
+    assert ENCODINGS_BY_CE[15].name == "UNCOMPRESSED"
+
+
+def test_sizes_strictly_within_block():
+    for enc in ALL_ENCODINGS:
+        assert 1 <= enc.size <= BLOCK_SIZE
+
+
+def test_n_values_consistency():
+    for enc in ALL_ENCODINGS:
+        if enc.base_bytes:
+            assert enc.n_values * enc.base_bytes == BLOCK_SIZE
+
+
+def test_classify_boundaries():
+    assert classify(1) == "hcr"
+    assert classify(37) == "hcr"
+    assert classify(38) == "lcr"
+    assert classify(58) == "lcr"
+    assert classify(64) == "incompressible"
+
+
+def test_ecb_size_adds_metadata():
+    assert ecb_size(30) == 30 + ECB_OVERHEAD_BYTES
+    assert ecb_size(64) == 64  # uncompressed pays no in-frame metadata
+    assert ecb_size(63) == 64  # capped at the frame size
+
+
+def test_ecb_size_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        ecb_size(-1)
+    with pytest.raises(ValueError):
+        ecb_size(65)
+
+
+def test_best_fit_encoding():
+    assert best_fit_encoding(64).name == "UNCOMPRESSED"
+    assert best_fit_encoding(63).size == 58
+    assert best_fit_encoding(37).size == 37
+    assert best_fit_encoding(15).size == 8
+    assert best_fit_encoding(0) is None
+
+
+def test_hcr_flags():
+    assert ENCODINGS_BY_NAME["B8D4"].is_hcr
+    assert not ENCODINGS_BY_NAME["B8D5"].is_hcr
+    assert ENCODINGS_BY_NAME["B8D5"].is_compressed
+    assert not ENCODINGS_BY_NAME["UNCOMPRESSED"].is_compressed

@@ -1,0 +1,53 @@
+"""Tests for the FPC comparator compressor."""
+
+import random
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.encodings import BLOCK_SIZE, ENCODING_SIZES
+from repro.compression.fpc import FPCCompressor
+
+fpc = FPCCompressor()
+
+
+def test_zero_block_small():
+    result = fpc.compress(bytes(64))
+    assert result.size <= 8
+
+
+def test_small_integers_compress():
+    block = struct.pack("<16I", *([3] * 16))
+    assert fpc.compress(block).size < BLOCK_SIZE
+
+
+def test_random_data_incompressible():
+    rng = random.Random(9)
+    block = bytes(rng.getrandbits(8) for _ in range(64))
+    assert fpc.compress(block).size == BLOCK_SIZE
+
+
+def test_sizes_quantised_to_table1():
+    rng = random.Random(10)
+    for _ in range(50):
+        words = [
+            rng.choice([0, 1, 255, 0xFFFF, rng.getrandbits(32)]) for _ in range(16)
+        ]
+        block = struct.pack("<16I", *words)
+        size = fpc.compress(block).size
+        assert size in ENCODING_SIZES
+
+
+@given(st.binary(min_size=64, max_size=64))
+@settings(max_examples=150)
+def test_fpc_roundtrip(block):
+    result = fpc.compress(block)
+    assert fpc.decompress(result) == block
+    assert 1 <= result.size <= BLOCK_SIZE
+
+
+def test_halfword_repeated_pattern():
+    word = 0xABCD_ABCD
+    block = struct.pack("<16I", *([word] * 16))
+    assert fpc.compress(block).size < BLOCK_SIZE

@@ -1,0 +1,82 @@
+"""Tests for the synthetic pattern library feeding the workloads."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bdi import DEFAULT_COMPRESSOR
+from repro.compression.encodings import ALL_ENCODINGS, BLOCK_SIZE
+from repro.compression.patterns import (
+    PatternLibrary,
+    base_delta_block,
+    incompressible_block,
+    rep8_block,
+    zero_block,
+)
+
+
+def test_zero_block_compresses_to_one_byte():
+    assert DEFAULT_COMPRESSOR.compress(zero_block()).size == 1
+
+
+def test_rep8_block_compresses_to_eight_bytes():
+    block = rep8_block(random.Random(3))
+    assert DEFAULT_COMPRESSOR.compress(block).size == 8
+
+
+def test_incompressible_block_stays_uncompressed():
+    block = incompressible_block(random.Random(5))
+    assert DEFAULT_COMPRESSOR.compress(block).size == BLOCK_SIZE
+
+
+@pytest.mark.parametrize(
+    "name", ["B8D1", "B8D2", "B8D3", "B8D4", "B8D5", "B8D6", "B8D7"]
+)
+def test_base_delta_blocks_hit_their_encoding(name):
+    enc = next(e for e in ALL_ENCODINGS if e.name == name)
+    rng = random.Random(11)
+    hits = 0
+    for _ in range(16):
+        block = base_delta_block(rng, enc)
+        if DEFAULT_COMPRESSOR.compress(block).size == enc.size:
+            hits += 1
+    # the generator is probabilistic but must succeed most of the time
+    assert hits >= 12
+
+
+def test_library_serves_every_encoding_size():
+    lib = PatternLibrary(seed=1, pool_size=4)
+    for size in lib.available_sizes:
+        block = lib.block_for_size(size)
+        assert DEFAULT_COMPRESSOR.compress(block).size == size
+
+
+def test_library_deterministic_choice():
+    lib = PatternLibrary(seed=2, pool_size=8)
+    a = lib.block_for_size(30, choice=1234)
+    b = lib.block_for_size(30, choice=1234)
+    assert a == b
+
+
+def test_library_caches_compression_results():
+    lib = PatternLibrary(seed=3, pool_size=4)
+    block = lib.block_for_size(44, choice=0)
+    first = lib.compression_of(block)
+    assert lib.compression_of(block) is first
+    assert first.size == 44
+
+
+def test_library_rejects_unknown_size():
+    lib = PatternLibrary(seed=4)
+    with pytest.raises(ValueError):
+        lib.block_for_size(13)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_library_any_choice_valid(choice):
+    lib = PatternLibrary(seed=5, pool_size=4)
+    block = lib.block_for_size(23, choice=choice)
+    assert DEFAULT_COMPRESSOR.compress(block).size == 23

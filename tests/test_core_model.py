@@ -1,0 +1,67 @@
+"""Tests for the analytical core model."""
+
+import pytest
+
+from repro.cache.hierarchy import Level
+from repro.cache.stats import CoreStats
+from repro.config import CoreConfig, LatencyConfig
+from repro.timing.core_model import AnalyticalCore
+
+
+def make_core(mlp=2.0, base_cpi=0.5):
+    return AnalyticalCore(
+        0, CoreConfig(n_cores=1, base_cpi=base_cpi, mlp=mlp), LatencyConfig()
+    )
+
+
+def test_l1_hit_costs_only_base_cpi():
+    core = make_core()
+    t = core.account(10, Level.L1)
+    assert t == pytest.approx(11 * 0.5)
+    assert core.instructions == 11
+
+
+def test_miss_penalties_scaled_by_mlp():
+    lat = LatencyConfig()
+    core = make_core(mlp=2.0)
+    t = core.account(0, Level.MEMORY)
+    assert t == pytest.approx(0.5 + lat.memory / 2.0)
+
+
+def test_levels_ordered_by_cost():
+    costs = {}
+    for level in Level:
+        core = make_core()
+        costs[level] = core.account(0, level)
+    assert costs[Level.L1] < costs[Level.L2]
+    assert costs[Level.L2] < costs[Level.LLC_SRAM]
+    assert costs[Level.LLC_SRAM] < costs[Level.LLC_NVM]
+    assert costs[Level.LLC_NVM] < costs[Level.MEMORY]
+
+
+def test_nvm_charges_rearrangement_and_decompression():
+    lat = LatencyConfig()
+    core = make_core(mlp=1.0)
+    t_sram = make_core(mlp=1.0).account(0, Level.LLC_SRAM)
+    t_nvm = core.account(0, Level.LLC_NVM)
+    assert t_nvm - t_sram == pytest.approx(
+        lat.llc_nvm_total_load - lat.llc_sram_load
+    )
+
+
+def test_ipc_accumulates():
+    core = make_core()
+    for _ in range(100):
+        core.account(9, Level.L1)
+    assert core.ipc == pytest.approx(1 / 0.5)
+    stats = CoreStats()
+    core.export(stats)
+    assert stats.instructions == 1000
+    assert stats.ipc == pytest.approx(core.ipc)
+
+
+def test_reset():
+    core = make_core()
+    core.account(5, Level.MEMORY)
+    core.reset()
+    assert core.cycles == 0.0 and core.instructions == 0

@@ -1,0 +1,58 @@
+"""Tests for the C-PACK comparator compressor."""
+
+import random
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.cpack import CPackCompressor
+from repro.compression.encodings import BLOCK_SIZE, ENCODING_SIZES
+
+cpack = CPackCompressor()
+
+
+def test_zero_block_tiny():
+    result = cpack.compress(bytes(64))
+    assert result.size <= 8
+
+
+def test_repeated_word_uses_dictionary():
+    block = struct.pack("<16I", *([0xDEADBEEF] * 16))
+    # first word uncompressed, rest full dictionary matches
+    assert cpack.compress(block).size < 24
+
+
+def test_small_bytes_compress():
+    block = struct.pack("<16I", *(range(1, 17)))
+    assert cpack.compress(block).size < BLOCK_SIZE
+
+
+def test_random_block_incompressible():
+    rng = random.Random(4)
+    block = bytes(rng.getrandbits(8) for _ in range(64))
+    assert cpack.compress(block).size == BLOCK_SIZE
+
+
+def test_near_match_words():
+    base = 0x12345600
+    block = struct.pack("<16I", *[base + i for i in range(16)])
+    # 3-byte dictionary matches after the first word
+    assert cpack.compress(block).size < 40
+
+
+def test_sizes_on_ladder():
+    rng = random.Random(5)
+    for _ in range(60):
+        words = [rng.choice([0, 7, 0xABCD0000 + rng.randrange(256),
+                             rng.getrandbits(32)]) for _ in range(16)]
+        size = cpack.compress(struct.pack("<16I", *words)).size
+        assert size in ENCODING_SIZES
+
+
+@given(st.binary(min_size=64, max_size=64))
+@settings(max_examples=150)
+def test_cpack_roundtrip(block):
+    result = cpack.compress(block)
+    assert cpack.decompress(result) == block
+    assert 1 <= result.size <= BLOCK_SIZE

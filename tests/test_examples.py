@@ -1,0 +1,60 @@
+"""The example scripts must run end to end (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "mean IPC" in out
+    assert "NVM bytes written" in out
+
+
+def test_compression_explorer_runs(capsys):
+    run_example("compression_explorer.py")
+    out = capsys.readouterr().out
+    assert "round-trip OK" in out
+    assert "decompression matches" in out
+
+
+def test_set_dueling_adaptivity_runs(capsys):
+    run_example("set_dueling_adaptivity.py")
+    out = capsys.readouterr().out
+    assert "winners per epoch" in out
+
+
+def test_aging_timeline_runs(capsys):
+    run_example("aging_timeline.py")
+    out = capsys.readouterr().out
+    assert "frame-capacity distribution" in out
+    assert "byte-disabling" in out
+
+
+@pytest.mark.slow
+def test_policy_comparison_runs(capsys):
+    run_example("policy_comparison.py", argv=["mix1"])
+    out = capsys.readouterr().out
+    assert "Policy comparison" in out
+    assert "16w SRAM (upper)" in out
+
+
+@pytest.mark.slow
+def test_lifetime_forecast_runs(capsys):
+    run_example("lifetime_forecast.py")
+    out = capsys.readouterr().out
+    assert "lifetime ratio" in out

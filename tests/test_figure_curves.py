@@ -1,0 +1,62 @@
+"""Tests for figure-style curve rendering from lifetime studies."""
+
+import pytest
+
+from repro.experiments.figure_curves import (
+    render_study,
+    study_capacity_curves,
+    study_ipc_curves,
+)
+from repro.experiments.lifetime import LifetimeStudy
+from repro.forecast import ForecastPoint, ForecastResult
+
+
+def fake_result(policy, ipc0, horizon):
+    points = [
+        ForecastPoint(0.0, 1.0, ipc0, 0.7, 10.0),
+        ForecastPoint(horizon / 2, 0.7, ipc0 * 0.95, 0.65, 10.0),
+        ForecastPoint(horizon, 0.5, ipc0 * 0.8, 0.5, 10.0),
+    ]
+    return ForecastResult(policy, points, reached_stop=True,
+                          horizon_seconds=horizon)
+
+
+def fake_study():
+    study = LifetimeStudy(label="test", upper_bound_ipc=2.0, lower_bound_ipc=1.0)
+    study.forecasts["bh"] = [fake_result("bh", 1.9, 100.0),
+                             fake_result("bh", 2.1, 120.0)]
+    study.forecasts["cp_sd"] = [fake_result("cp_sd", 1.8, 900.0),
+                                fake_result("cp_sd", 2.0, 1100.0)]
+    return study
+
+
+def test_ipc_curves_share_grid_and_normalise():
+    study = fake_study()
+    curves = study_ipc_curves(study, points=8)
+    assert {c.label for c in curves} == {"bh", "cp_sd"}
+    assert all(list(c.times) == list(curves[0].times) for c in curves)
+    # normalised to bound 2.0: first point is mix-mean ipc0 / 2.0
+    bh = next(c for c in curves if c.label == "bh")
+    assert bh.values[0] == pytest.approx((1.9 + 2.1) / 2 / 2.0)
+    # grid spans the longest horizon (1100 s)
+    assert curves[0].times[-1] == pytest.approx(1100.0)
+
+
+def test_ipc_curves_without_normalisation():
+    curves = study_ipc_curves(fake_study(), points=4, normalise_to_bound=False)
+    bh = next(c for c in curves if c.label == "bh")
+    assert bh.values[0] == pytest.approx(2.0)
+
+
+def test_capacity_curves_monotone():
+    curves = study_capacity_curves(fake_study(), points=16)
+    for curve in curves:
+        assert all(a >= b for a, b in zip(curve.values, curve.values[1:]))
+        assert curve.values[0] == 1.0
+
+
+def test_render_study_text():
+    text = render_study(fake_study(), width=40, height=8)
+    assert "IPC normalised" in text
+    assert "NVM effective capacity" in text
+    assert "0=bh" in text and "1=cp_sd" in text

@@ -1,0 +1,105 @@
+"""Tests for the forecasting procedure (simulate/predict alternation)."""
+
+import pytest
+
+from repro.core import make_policy
+from repro.experiments.common import SMOKE
+from repro.forecast import ForecastPoint, ForecastResult, Forecaster, SECONDS_PER_MONTH
+
+
+def run_forecast(policy_name="bh", mix="mix1", max_steps=5, **kw):
+    scale = SMOKE
+    config = scale.system()
+    workload = scale.workload(mix)
+    epoch = config.dueling.epoch_cycles
+    forecaster = Forecaster(
+        config,
+        make_policy(policy_name, **kw),
+        workload,
+        phase_cycles=2 * epoch,
+        initial_warmup_cycles=4 * epoch,
+        rewarm_cycles=epoch * 0.5,
+        capacity_step=0.15,
+        max_steps=max_steps,
+    )
+    return forecaster.run()
+
+
+def test_forecast_points_well_formed():
+    result = run_forecast()
+    assert result.policy == "bh"
+    assert result.points
+    assert result.points[0].time_seconds == 0.0
+    assert result.points[0].capacity_fraction == 1.0
+    times = [p.time_seconds for p in result.points]
+    caps = [p.capacity_fraction for p in result.points]
+    assert times == sorted(times)
+    assert all(a >= b for a, b in zip(caps, caps[1:]))
+    assert all(p.ipc > 0 for p in result.points)
+    assert result.horizon_seconds > 0
+
+
+def test_bh_reaches_stop_quickly():
+    result = run_forecast("bh", max_steps=8)
+    assert result.reached_stop
+    assert result.lifetime_seconds(0.5) is not None
+    assert result.lifetime_months(0.5) == pytest.approx(
+        result.lifetime_seconds(0.5) / SECONDS_PER_MONTH
+    )
+
+
+def test_capacity_loss_degrades_performance():
+    """IPC at 50-60 % capacity must not exceed initial IPC by much."""
+    result = run_forecast("bh", max_steps=8)
+    assert result.points[-1].ipc <= result.initial_ipc * 1.05
+
+
+# ----------------------------------------------------------------------
+# ForecastResult helpers on synthetic data
+# ----------------------------------------------------------------------
+def synthetic_result():
+    points = [
+        ForecastPoint(0.0, 1.0, 2.0, 0.8, 100.0),
+        ForecastPoint(100.0, 0.8, 1.9, 0.78, 100.0),
+        ForecastPoint(200.0, 0.6, 1.7, 0.7, 100.0),
+        ForecastPoint(300.0, 0.4, 1.2, 0.5, 100.0),
+    ]
+    return ForecastResult(policy="x", points=points, horizon_seconds=300.0)
+
+
+def test_lifetime_interpolation():
+    r = synthetic_result()
+    # capacity crosses 0.5 midway between t=200 (0.6) and t=300 (0.4)
+    assert r.lifetime_seconds(0.5) == pytest.approx(250.0)
+    assert r.lifetime_seconds(0.8) == pytest.approx(100.0)
+    assert r.lifetime_seconds(0.1) is None
+    assert r.lifetime_or_horizon_seconds(0.1) == 300.0
+
+
+def test_ipc_at_step_interpolation():
+    r = synthetic_result()
+    assert r.ipc_at(0.0) == 2.0
+    assert r.ipc_at(150.0) == 1.9
+    assert r.ipc_at(1e9) == 1.2
+
+
+def test_mean_ipc_over_window():
+    r = synthetic_result()
+    # first 200 s: 100 s at 2.0 + 100 s at 1.9
+    assert r.mean_ipc_over(200.0) == pytest.approx(1.95)
+    assert r.mean_ipc_over(0.0) == 0.0
+
+
+def test_empty_result_is_safe():
+    r = ForecastResult(policy="none")
+    assert r.initial_ipc == 0.0
+    assert r.lifetime_seconds() is None
+    assert r.ipc_at(0.0) == 0.0
+    assert r.mean_ipc_over(10.0) == 0.0
+
+
+def test_fault_reconciliation_runs():
+    """A byte-disabling forecast must keep resident blocks consistent
+    with shrinking frame capacities."""
+    result = run_forecast("cp_sd", max_steps=6)
+    assert len(result.points) >= 2

@@ -1,0 +1,62 @@
+"""Unit tests for the forecaster's rate-smoothing and CLI-level bits."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_policy
+from repro.engine import Workload
+from repro.experiments.common import SMOKE
+from repro.forecast import Forecaster
+
+
+def forecaster(policy_name="cp_sd", smooth=True):
+    scale = SMOKE
+    config = scale.system()
+    epoch = config.dueling.epoch_cycles
+    return Forecaster(
+        config,
+        make_policy(policy_name),
+        scale.workload("mix1"),
+        phase_cycles=epoch,
+        initial_warmup_cycles=epoch,
+        capacity_step=0.2,
+        max_steps=3,
+        smooth_rates=smooth,
+    )
+
+
+def test_byte_smoothing_pools_within_sets_weighted_by_capacity():
+    fc = forecaster("cp_sd")
+    raw = np.zeros((4, 3))
+    raw[0] = [300.0, 0.0, 0.0]   # one frame took all the set's writes
+    raw[2] = [10.0, 20.0, 30.0]
+    caps = np.full((4, 3), 64.0)
+    caps[0] = [64, 32, 32]       # frame 0 has twice the live bytes
+    smoothed = fc._smoothed(raw, caps)
+    # set totals preserved
+    assert smoothed.sum(axis=1) == pytest.approx(raw.sum(axis=1))
+    # capacity-weighted shares in set 0: 64:32:32 -> 150:75:75
+    assert smoothed[0] == pytest.approx([150.0, 75.0, 75.0])
+    # untouched set stays zero
+    assert smoothed[1].sum() == 0.0
+
+
+def test_frame_smoothing_uniform_over_live_frames():
+    fc = forecaster("bh")  # frame granularity
+    raw = np.array([[90.0, 0.0, 0.0]])
+    caps = np.array([[64, 64, 0]])  # third frame is dead
+    smoothed = fc._smoothed(raw, caps)
+    assert smoothed[0] == pytest.approx([45.0, 45.0, 0.0])
+
+
+def test_smoothing_handles_fully_dead_set():
+    fc = forecaster("bh")
+    raw = np.array([[10.0, 10.0, 10.0]])
+    caps = np.zeros((1, 3))
+    smoothed = fc._smoothed(raw, caps)
+    assert np.isfinite(smoothed).all()
+
+
+def test_unsmoothed_forecaster_still_runs():
+    result = forecaster("bh", smooth=False).run()
+    assert result.points

@@ -1,0 +1,83 @@
+"""Integration: Set Dueling adaptivity and fault-injected (aged) caches."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_policy
+from repro.engine import Simulation
+from repro.experiments.common import SMOKE, aged_capacities
+
+
+def run_cp_sd(mix, capacities=None, epochs=12):
+    scale = SMOKE
+    config = scale.system()
+    sim = Simulation(config, make_policy("cp_sd"), scale.workload(mix))
+    if capacities is not None:
+        sim.hierarchy.llc.faultmap.load_capacities(capacities)
+    epoch = config.dueling.epoch_cycles
+    res = sim.run(cycles=epochs * epoch, warmup_cycles=4 * epoch)
+    return sim, res
+
+
+def test_dueling_elects_each_epoch():
+    sim, res = run_cp_sd("mix1")
+    controller = sim.policy.controller
+    assert controller.epochs_elapsed >= 8
+    assert all(
+        w in controller.candidates for w in controller.winner_history
+    )
+
+
+def test_incompressible_mix_starves_nvm_under_ca():
+    """mix4 contains milc (100 % incompressible): CA must under-use NVM
+    for that app's traffic while CP_SD still populates NVM overall."""
+    scale = SMOKE
+    config = scale.system()
+    epoch = config.dueling.epoch_cycles
+    ca = Simulation(config, make_policy("ca", cpth=37), scale.workload("mix4"))
+    res = ca.run(cycles=8 * epoch, warmup_cycles=4 * epoch)
+    llc = res.stats.llc
+    # incompressible blocks all land in SRAM
+    assert llc.fills_sram > 0
+    assert llc.fills_nvm < llc.fills_sram * 3
+
+
+def test_aged_cache_reduces_nvm_insertions():
+    _sim_full, res_full = run_cp_sd("mix1")
+    caps = aged_capacities(SMOKE.system(), 0.55)
+    _sim_aged, res_aged = run_cp_sd("mix1", capacities=caps)
+    # with over half the NVM bytes gone, fewer blocks fit NVM frames
+    assert res_aged.stats.llc.fills_nvm < res_full.stats.llc.fills_nvm
+    assert res_aged.stats.llc.nvm_bytes_written < res_full.stats.llc.nvm_bytes_written
+
+
+def test_aged_cache_costs_hit_rate():
+    _s1, res_full = run_cp_sd("mix1")
+    caps = aged_capacities(SMOKE.system(), 0.5)
+    _s2, res_aged = run_cp_sd("mix1", capacities=caps)
+    assert res_aged.hit_rate <= res_full.hit_rate + 0.02
+
+
+def test_dead_frames_never_hold_blocks():
+    config = SMOKE.system()
+    caps = aged_capacities(config, 0.6)
+    sim, _res = run_cp_sd("mix1", capacities=caps)
+    llc = sim.hierarchy.llc
+    for cache_set in llc.sets:
+        for way in range(cache_set.sram_ways, cache_set.total_ways):
+            if cache_set.tags[way] is not None:
+                assert cache_set.ecb[way] <= llc.capacity_of(cache_set, way)
+
+
+def test_frame_disabling_policy_on_aged_cache():
+    scale = SMOKE
+    config = scale.system()
+    epoch = config.dueling.epoch_cycles
+    sim = Simulation(config, make_policy("bh"), scale.workload("mix1"))
+    caps = aged_capacities(config, 0.7, granularity="frame")
+    sim.hierarchy.llc.faultmap.load_capacities(caps)
+    res = sim.run(cycles=6 * epoch, warmup_cycles=2 * epoch)
+    assert res.stats.llc.accesses > 0
+    # frame granularity: every capacity is 0 or 64
+    unique = set(np.unique(sim.hierarchy.llc.faultmap.capacities))
+    assert unique <= {0, 64}

@@ -1,0 +1,81 @@
+"""Integration: every policy runs a real mix and behaves sanely.
+
+These are the cross-module tests backing the paper's qualitative
+orderings at tiny scale: NVM-aware policies write (far) fewer NVM
+bytes than BH; compression-aware policies keep BH-level hit rates;
+conservative policies pay with hit rate.
+"""
+
+import pytest
+
+from repro.core import make_policy
+from repro.engine import Simulation
+from repro.experiments.common import SMOKE
+
+POLICY_NAMES = ("bh", "bh_cp", "lhybrid", "tap", "ca", "ca_rwr", "cp_sd", "cp_sd_th")
+
+
+@pytest.fixture(scope="module")
+def results():
+    scale = SMOKE
+    config = scale.system()
+    workload = scale.workload("mix1")
+    epoch = config.dueling.epoch_cycles
+    out = {}
+    for name in POLICY_NAMES:
+        sim = Simulation(config, make_policy(name), scale.workload("mix1"))
+        out[name] = sim.run(cycles=14 * epoch, warmup_cycles=10 * epoch)
+    return out
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_policy_runs_and_counts_are_consistent(results, name):
+    res = results[name]
+    llc = res.stats.llc
+    assert res.mean_ipc > 0
+    assert llc.accesses > 0
+    assert 0 <= llc.hit_rate <= 1
+    assert llc.fills_sram + llc.fills_nvm <= llc.fills + llc.migrations_to_nvm
+    assert llc.nvm_bytes_written >= 0
+    if not make_policy(name).compressed:
+        # uncompressed policies write whole frames
+        if llc.nvm_writes:
+            assert llc.nvm_bytes_written == 64 * llc.nvm_writes
+
+
+def test_nvm_aware_policies_write_less_than_bh(results):
+    bh_bytes = results["bh"].stats.llc.nvm_bytes_written
+    for name in ("lhybrid", "tap", "cp_sd", "cp_sd_th"):
+        assert results[name].stats.llc.nvm_bytes_written < bh_bytes
+
+
+def test_conservative_policies_trade_hit_rate(results):
+    assert results["lhybrid"].hit_rate < results["bh"].hit_rate
+    assert results["tap"].hit_rate <= results["lhybrid"].hit_rate + 0.05
+
+
+def test_cp_sd_keeps_bh_level_performance(results):
+    assert results["cp_sd"].mean_ipc > 0.9 * results["bh"].mean_ipc
+    assert results["cp_sd"].mean_ipc > results["lhybrid"].mean_ipc
+
+
+def test_compression_reduces_bytes_at_equal_traffic(results):
+    bh = results["bh"].stats.llc
+    bh_cp = results["bh_cp"].stats.llc
+    assert bh_cp.nvm_bytes_written < bh.nvm_bytes_written
+    assert bh_cp.hit_rate == pytest.approx(bh.hit_rate, abs=0.05)
+
+
+def test_sram_bounds_bracket_hybrids(results):
+    scale = SMOKE
+    epoch = scale.system().dueling.epoch_cycles
+
+    def bound(ways):
+        config = scale.system(sram_ways=ways, nvm_ways=0)
+        sim = Simulation(config, make_policy("sram"), scale.workload("mix1"))
+        return sim.run(cycles=14 * epoch, warmup_cycles=10 * epoch).mean_ipc
+
+    upper, lower = bound(16), bound(4)
+    assert lower < upper
+    assert results["bh"].mean_ipc <= upper * 1.02
+    assert results["lhybrid"].mean_ipc >= lower * 0.9

@@ -1,0 +1,183 @@
+"""Tests for the hybrid LLC request/fill paths (Sec. III-A protocol)."""
+
+import pytest
+
+from repro.cache.block import MetadataTable, ReuseClass
+from repro.cache.cacheset import NVM, SRAM
+from repro.cache.llc import HybridLLC
+from repro.config import HybridGeometry, SystemConfig
+from repro.core import make_policy
+
+
+def make_llc(policy_name="bh_cp", n_sets=4, sram=2, nvm=4, size_fn=None, **kw):
+    config = SystemConfig(
+        llc=HybridGeometry(
+            n_sets=n_sets, sram_ways=sram, nvm_ways=nvm, n_banks=min(2, n_sets)
+        )
+    )
+    policy = make_policy(policy_name, **kw)
+    return HybridLLC(config, policy, size_fn=size_fn), MetadataTable()
+
+
+def test_miss_then_fill_then_hit():
+    llc, meta = make_llc()
+    result = llc.request(100, is_getx=False, meta_table=meta)
+    assert not result.hit
+    llc.fill_from_l2(100, dirty=False, meta_table=meta)
+    assert llc.contains(100)
+    result = llc.request(100, is_getx=False, meta_table=meta)
+    assert result.hit and not result.invalidated
+    assert llc.contains(100)  # GetS leaves the copy
+
+
+def test_getx_invalidate_on_hit():
+    llc, meta = make_llc()
+    llc.fill_from_l2(100, dirty=True, meta_table=meta)
+    result = llc.request(100, is_getx=True, meta_table=meta)
+    assert result.hit and result.invalidated and result.dirty
+    assert not llc.contains(100)
+    assert llc.stats.writebacks_to_memory == 0  # data went to the requester
+
+
+def test_upgrade_invalidates_copy():
+    llc, meta = make_llc()
+    llc.fill_from_l2(100, dirty=False, meta_table=meta)
+    assert llc.upgrade(100, meta)
+    assert not llc.contains(100)
+    assert meta.get(100).reuse is ReuseClass.WRITE
+    assert llc.stats.upgrades == 1 and llc.stats.upgrade_hits == 1
+    assert not llc.upgrade(100, meta)  # second time: no copy
+
+
+def test_clean_refill_is_silent_drop():
+    llc, meta = make_llc()
+    llc.fill_from_l2(100, dirty=False, meta_table=meta)
+    before = llc.stats.nvm_bytes_written + llc.stats.sram_writes
+    llc.fill_from_l2(100, dirty=False, meta_table=meta)
+    after = llc.stats.nvm_bytes_written + llc.stats.sram_writes
+    assert llc.stats.silent_drops == 1
+    assert before == after  # no write happened
+
+
+def test_dirty_refill_updates_in_place():
+    llc, meta = make_llc()
+    llc.fill_from_l2(100, dirty=False, meta_table=meta)
+    llc.fill_from_l2(100, dirty=True, meta_table=meta)
+    assert llc.stats.updates_in_place == 1
+    way = llc.set_of(100).find(100)
+    assert llc.set_of(100).dirty[way]
+
+
+def test_reuse_classification_on_hits():
+    llc, meta = make_llc()
+    llc.fill_from_l2(100, dirty=False, meta_table=meta)
+    llc.request(100, is_getx=False, meta_table=meta)
+    assert meta.get(100).reuse is ReuseClass.READ
+    llc.request(100, is_getx=True, meta_table=meta)
+    assert meta.get(100).reuse is ReuseClass.WRITE
+
+
+def test_eviction_writes_back_dirty_blocks():
+    llc, meta = make_llc(n_sets=1, sram=1, nvm=1)
+    # same set: capacity 2 blocks (bh_cp = global fit-LRU)
+    llc.fill_from_l2(0, dirty=True, meta_table=meta)
+    llc.fill_from_l2(4, dirty=False, meta_table=meta)
+    llc.fill_from_l2(8, dirty=False, meta_table=meta)  # evicts block 0
+    assert llc.stats.evictions == 1
+    assert llc.stats.writebacks_to_memory == 1
+
+
+def test_on_block_to_memory_callback():
+    seen = []
+    llc, meta = make_llc(n_sets=1, sram=1, nvm=0)
+    llc.on_block_to_memory = seen.append
+    llc.fill_from_l2(0, dirty=False, meta_table=meta)
+    llc.fill_from_l2(4, dirty=False, meta_table=meta)
+    assert seen == [0]
+
+
+def test_nvm_write_charges_wear_and_stats():
+    size_fn = lambda addr: (30, 32)
+    llc, meta = make_llc(size_fn=size_fn, policy_name="ca", cpth=37)
+    llc.fill_from_l2(100, dirty=False, meta_table=meta)  # small -> NVM
+    assert llc.stats.fills_nvm == 1
+    assert llc.stats.nvm_bytes_written == 32
+    assert llc.wear.total_bytes_written() == 32
+
+
+def test_sram_write_not_charged_to_wear():
+    size_fn = lambda addr: (64, 64)
+    llc, meta = make_llc(size_fn=size_fn, policy_name="ca", cpth=37)
+    llc.fill_from_l2(100, dirty=False, meta_table=meta)  # big -> SRAM
+    assert llc.stats.fills_sram == 1
+    assert llc.stats.nvm_bytes_written == 0
+    assert llc.stats.sram_writes == 1
+
+
+def test_fit_lru_fallback_to_sram_when_frames_too_small():
+    size_fn = lambda addr: (58, 60)
+    llc, meta = make_llc(size_fn=size_fn, policy_name="ca", cpth=64)
+    # ruin all NVM frames of set 0 below 60 bytes
+    for w in range(4):
+        llc.faultmap.set_capacity(0, w, 40)
+    llc.fill_from_l2(0, dirty=False, meta_table=meta)
+    cs = llc.set_of(0)
+    way = cs.find(0)
+    assert cs.part_of(way) == SRAM  # paper: unfit NVM blocks go to SRAM
+
+
+def test_bypass_when_nothing_fits():
+    size_fn = lambda addr: (58, 60)
+    llc, meta = make_llc(size_fn=size_fn, policy_name="ca", cpth=64, sram=0, nvm=4)
+    for w in range(4):
+        llc.faultmap.set_capacity(0, w, 10)
+    llc.fill_from_l2(0, dirty=True, meta_table=meta)
+    assert llc.stats.bypasses == 1
+    assert llc.stats.writebacks_to_memory == 1
+    assert not llc.contains(0)
+
+
+def test_frame_disabling_policy_needs_full_frames():
+    llc, meta = make_llc(policy_name="bh", n_sets=1, sram=0, nvm=2)
+    llc.faultmap.kill_bytes(0, 0, 1)  # frame granularity: whole frame dies
+    assert llc.faultmap.capacity(0, 0) == 0
+    llc.fill_from_l2(0, dirty=False, meta_table=meta)
+    llc.fill_from_l2(4, dirty=False, meta_table=meta)
+    # only one usable frame remains; second fill evicted the first block
+    assert llc.stats.evictions == 1
+    assert len(llc.set_of(0).way_of) == 1
+
+
+def test_reconcile_faults_evicts_unfit_blocks():
+    size_fn = lambda addr: (30, 32)
+    llc, meta = make_llc(size_fn=size_fn, policy_name="ca", cpth=37)
+    llc.fill_from_l2(100, dirty=True, meta_table=meta)
+    cs = llc.set_of(100)
+    way = cs.find(100)
+    llc.faultmap.set_capacity(cs.index, cs.nvm_way(way), 10)
+    evicted = llc.reconcile_faults()
+    assert evicted == 1
+    assert not llc.contains(100)
+    assert llc.stats.writebacks_to_memory == 1
+
+
+def test_flush_writes_back_dirty():
+    llc, meta = make_llc()
+    llc.fill_from_l2(0, dirty=True, meta_table=meta)
+    llc.fill_from_l2(1, dirty=False, meta_table=meta)
+    llc.flush()
+    assert llc.stats.writebacks_to_memory == 1
+    assert llc.resident_blocks() == []
+
+
+def test_bank_interleaving():
+    llc, _meta = make_llc(n_sets=4)
+    banks = {llc.bank_of(addr) for addr in range(8)}
+    assert banks == {0, 1}
+
+
+def test_occupancy_fraction():
+    llc, meta = make_llc(n_sets=2, sram=1, nvm=1)
+    assert llc.occupancy_fraction() == 0.0
+    llc.fill_from_l2(0, dirty=False, meta_table=meta)
+    assert llc.occupancy_fraction() == pytest.approx(0.25)

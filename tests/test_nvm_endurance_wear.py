@@ -1,0 +1,112 @@
+"""Tests for endurance sampling and wear tracking."""
+
+import numpy as np
+import pytest
+
+from repro.config import EnduranceConfig
+from repro.nvm.endurance import (
+    expected_min_endurance,
+    frame_endurance,
+    sample_byte_endurance,
+)
+from repro.nvm.wear import GlobalWearCounter, WearTracker
+
+
+def test_sample_shape_and_sorting():
+    cfg = EnduranceConfig(mean=1e6, cv=0.2, seed=1)
+    draws = sample_byte_endurance(cfg, 100)
+    assert draws.shape == (100, 64)
+    assert (np.diff(draws, axis=1) >= 0).all()
+
+
+def test_sample_statistics_match_config():
+    cfg = EnduranceConfig(mean=1e6, cv=0.2, seed=2)
+    draws = sample_byte_endurance(cfg, 2000, sort=False)
+    assert draws.mean() == pytest.approx(1e6, rel=0.01)
+    assert draws.std() == pytest.approx(2e5, rel=0.05)
+
+
+def test_sample_deterministic_per_seed():
+    cfg = EnduranceConfig(seed=7)
+    a = sample_byte_endurance(cfg, 10)
+    b = sample_byte_endurance(cfg, 10)
+    assert (a == b).all()
+    c = sample_byte_endurance(cfg, 10, seed_offset=1)
+    assert not (a == c).all()
+
+
+def test_sample_clipped_at_minimum():
+    cfg = EnduranceConfig(mean=1e6, cv=2.0, min_fraction=0.01, seed=3)
+    draws = sample_byte_endurance(cfg, 500)
+    assert draws.min() >= 0.01 * 1e6
+
+
+def test_sample_rejects_empty():
+    with pytest.raises(ValueError):
+        sample_byte_endurance(EnduranceConfig(), 0)
+
+
+def test_frame_endurance_is_min():
+    cfg = EnduranceConfig(seed=4)
+    draws = sample_byte_endurance(cfg, 50)
+    mins = frame_endurance(draws)
+    assert (mins == draws[:, 0]).all()  # sorted ascending
+
+
+def test_expected_min_endurance_below_mean():
+    cfg = EnduranceConfig(mean=1e10, cv=0.2)
+    est = expected_min_endurance(cfg)
+    assert est < 1e10
+    # min of 64 draws sits roughly 2.2-2.5 sigma below the mean
+    assert 1e10 - 2.6 * 2e9 < est < 1e10 - 2.0 * 2e9
+
+
+# ----------------------------------------------------------------------
+def test_wear_tracker_accumulates():
+    wt = WearTracker(4, 2)
+    wt.record_write(0, 0, 30)
+    wt.record_write(0, 0, 34)
+    wt.record_write(3, 1, 64)
+    assert wt.bytes_written[0, 0] == 64
+    assert wt.writes[0, 0] == 2
+    assert wt.total_bytes_written() == 128
+    assert wt.total_writes() == 3
+
+
+def test_wear_tracker_rates():
+    wt = WearTracker(1, 1)
+    wt.record_write(0, 0, 100)
+    assert wt.rates(4.0)[0, 0] == pytest.approx(25.0)
+    with pytest.raises(ValueError):
+        wt.rates(0.0)
+
+
+def test_wear_tracker_reset():
+    wt = WearTracker(2, 2)
+    wt.record_write(1, 1, 10)
+    wt.reset()
+    assert wt.total_bytes_written() == 0
+    assert wt.total_writes() == 0
+
+
+# ----------------------------------------------------------------------
+def test_global_wear_counter_rotates():
+    counter = GlobalWearCounter(block_size=8, advance_period_writes=10)
+    assert counter.start_position() == 0
+    counter.tick(9)
+    assert counter.value == 0
+    counter.tick(1)
+    assert counter.value == 1
+    counter.tick(85)
+    assert counter.value == (1 + 8) % 8
+
+
+def test_global_wear_counter_wraps_block_size():
+    counter = GlobalWearCounter(block_size=4, advance_period_writes=1)
+    counter.tick(10)
+    assert counter.value == 10 % 4
+
+
+def test_global_wear_counter_validation():
+    with pytest.raises(ValueError):
+        GlobalWearCounter(advance_period_writes=0)

@@ -1,0 +1,120 @@
+"""Tests for the byte-level fault map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.faultmap import FaultMap
+
+
+def test_initial_state_fully_alive():
+    fm = FaultMap(8, 4)
+    assert fm.effective_capacity_fraction() == 1.0
+    assert fm.alive_bytes() == 8 * 4 * 64
+    assert fm.capacity(0, 0) == 64
+    assert not fm.is_frame_dead(0, 0)
+
+
+def test_kill_bytes_reduces_capacity():
+    fm = FaultMap(4, 2)
+    assert fm.kill_bytes(1, 1, 3) == 61
+    assert fm.capacity(1, 1) == 61
+    assert fm.alive_bytes() == 4 * 2 * 64 - 3
+
+
+def test_kill_bytes_clamps_at_zero():
+    fm = FaultMap(2, 1)
+    assert fm.kill_bytes(0, 0, 100) == 0
+    assert fm.is_frame_dead(0, 0)
+
+
+def test_frame_granularity_any_fault_kills_frame():
+    fm = FaultMap(4, 2, granularity="frame")
+    fm.kill_bytes(0, 0, 1)
+    assert fm.capacity(0, 0) == 0
+    assert fm.dead_frame_fraction() == pytest.approx(1 / 8)
+
+
+def test_byte_granularity_keeps_partial_frames():
+    fm = FaultMap(4, 2, granularity="byte")
+    fm.kill_bytes(0, 0, 1)
+    assert fm.capacity(0, 0) == 63
+
+
+def test_set_capacity_validation():
+    fm = FaultMap(2, 2)
+    with pytest.raises(ValueError):
+        fm.set_capacity(0, 0, 65)
+    with pytest.raises(ValueError):
+        fm.set_capacity(0, 0, -1)
+
+
+def test_load_capacities_bulk_update():
+    fm = FaultMap(2, 3)
+    caps = np.array([[64, 30, 0], [10, 64, 64]])
+    fm.load_capacities(caps)
+    assert fm.capacity(0, 1) == 30
+    assert fm.capacity(1, 0) == 10
+    assert fm.alive_bytes() == caps.sum()
+
+
+def test_load_capacities_frame_granularity_quantises():
+    fm = FaultMap(1, 3, granularity="frame")
+    fm.load_capacities(np.array([[64, 63, 0]]))
+    assert list(fm.capacities[0]) == [64, 0, 0]
+
+
+def test_load_capacities_shape_mismatch():
+    fm = FaultMap(2, 2)
+    with pytest.raises(ValueError):
+        fm.load_capacities(np.zeros((3, 2)))
+
+
+def test_byte_mask_matches_capacity():
+    fm = FaultMap(4, 4)
+    fm.set_capacity(2, 1, 40)
+    mask = fm.byte_mask(2, 1)
+    assert mask.sum() == 40
+    # deterministic without an explicit rng
+    assert (mask == fm.byte_mask(2, 1)).all()
+
+
+def test_clone_is_independent():
+    fm = FaultMap(2, 2)
+    other = fm.clone()
+    fm.kill_bytes(0, 0, 10)
+    assert other.capacity(0, 0) == 64
+
+
+def test_iter_frames_covers_all():
+    fm = FaultMap(3, 2)
+    frames = list(fm.iter_frames())
+    assert len(frames) == 6
+    assert all(cap == 64 for _s, _w, cap in frames)
+
+
+def test_bad_granularity_rejected():
+    with pytest.raises(ValueError):
+        FaultMap(2, 2, granularity="bit")
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=15),
+    st.lists(st.integers(min_value=0, max_value=64), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_capacity_fraction_invariant(n_sets, extra_ways, caps):
+    """Effective capacity always equals sum(capacities)/total."""
+    nvm_ways = 1 + extra_ways
+    fm = FaultMap(n_sets, nvm_ways)
+    rng = np.random.default_rng(0)
+    for cap in caps:
+        s = int(rng.integers(0, n_sets))
+        w = int(rng.integers(0, nvm_ways))
+        fm.set_capacity(s, w, cap)
+    assert fm.effective_capacity_fraction() == pytest.approx(
+        fm.capacities.sum() / (n_sets * nvm_ways * 64)
+    )
+    assert 0.0 <= fm.effective_capacity_fraction() <= 1.0

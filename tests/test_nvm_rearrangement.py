@@ -1,0 +1,80 @@
+"""Tests for the block-rearrangement circuitry model (Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.rearrangement import DONT_CARE, gather, index_vector, scatter
+
+
+def _mask(block_size, dead):
+    mask = np.ones(block_size, dtype=bool)
+    mask[list(dead)] = False
+    return mask
+
+
+def test_paper_figure5_example_shape():
+    """Fig. 5c: 5-byte ECB into an 8-byte frame with bytes 2 and 5 dead."""
+    mask = _mask(8, [2, 5])
+    ecb = bytes([10, 11, 12, 13, 14])
+    recb, write_mask = scatter(ecb, mask, start=0)
+    assert write_mask.sum() == 5
+    assert not write_mask[2] and not write_mask[5]
+    assert gather(bytes(recb), mask, 0, len(ecb)) == ecb
+
+
+def test_rotation_respects_counter():
+    mask = np.ones(8, dtype=bool)
+    ecb = bytes([1, 2, 3])
+    recb, write_mask = scatter(ecb, mask, start=6)
+    # starts writing at position 6, wraps to 7 and 0
+    assert recb[6] == 1 and recb[7] == 2 and recb[0] == 3
+    assert list(np.flatnonzero(write_mask)) == [0, 6, 7]
+
+
+def test_faulty_bytes_skipped_during_rotation():
+    mask = _mask(8, [7, 0])
+    ecb = bytes([9, 8])
+    recb, write_mask = scatter(ecb, mask, start=6)
+    assert recb[6] == 9
+    assert recb[1] == 8  # 7 and 0 are dead, next live is 1
+    assert write_mask.sum() == 2
+
+
+def test_ecb_too_large_raises():
+    mask = _mask(8, [0, 1, 2, 3])
+    with pytest.raises(ValueError):
+        scatter(bytes(5), mask, 0)
+
+
+def test_bad_counter_raises():
+    mask = np.ones(8, dtype=bool)
+    with pytest.raises(ValueError):
+        index_vector(mask, 8, 2)
+
+
+def test_index_vector_dont_cares():
+    mask = _mask(8, [3])
+    idx = index_vector(mask, 0, 4)
+    assert idx[3] == DONT_CARE
+    assert sorted(i for i in idx if i != DONT_CARE) == [0, 1, 2, 3]
+
+
+@given(
+    st.integers(min_value=0, max_value=63),
+    st.sets(st.integers(min_value=0, max_value=63), max_size=30),
+    st.binary(min_size=0, max_size=34),
+)
+@settings(max_examples=200, deadline=None)
+def test_scatter_gather_inverse(start, dead, ecb):
+    """gather(scatter(x)) == x whenever the ECB fits the live bytes."""
+    mask = _mask(64, dead)
+    if len(ecb) > mask.sum():
+        with pytest.raises(ValueError):
+            scatter(ecb, mask, start)
+        return
+    recb, write_mask = scatter(ecb, mask, start)
+    assert int(write_mask.sum()) == len(ecb)
+    assert not (write_mask & ~mask).any()  # never writes dead bytes
+    assert gather(bytes(recb), mask, start, len(ecb)) == ecb

@@ -1,0 +1,94 @@
+"""Tests for the Hamming SECDED codec."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.secded import NVM_DATA_CODE, SECDED
+
+
+def test_nvm_code_is_527_516():
+    """Sec. III-B: the NVM data array uses code (527, 516)."""
+    assert NVM_DATA_CODE.data_bits == 516
+    assert NVM_DATA_CODE.codeword_bits == 527
+    assert NVM_DATA_CODE.check_bits == 10
+
+
+def test_encode_decode_small_code():
+    code = SECDED(8)
+    for data in (0, 1, 0x55, 0xAA, 0xFF):
+        word = code.encode(data)
+        result = code.decode(word)
+        assert result.ok
+        assert result.data == data
+        assert result.corrected_bit is None
+
+
+def test_single_bit_errors_corrected():
+    code = SECDED(16)
+    data = 0xBEEF
+    word = code.encode(data)
+    for bit in range(code.codeword_bits):
+        corrupted = word ^ (1 << bit)
+        result = code.decode(corrupted)
+        assert result.ok, f"bit {bit} not corrected"
+        assert result.data == data
+
+
+def test_double_bit_errors_detected():
+    code = SECDED(16)
+    word = code.encode(0x1234)
+    rng = random.Random(0)
+    for _ in range(64):
+        b1, b2 = rng.sample(range(code.codeword_bits), 2)
+        corrupted = word ^ (1 << b1) ^ (1 << b2)
+        result = code.decode(corrupted)
+        assert result.double_error
+        assert result.data is None
+
+
+def test_encode_range_checked():
+    code = SECDED(8)
+    with pytest.raises(ValueError):
+        code.encode(256)
+    with pytest.raises(ValueError):
+        code.encode(-1)
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        SECDED(0)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100)
+def test_roundtrip_32bit(data):
+    code = SECDED(32)
+    assert code.decode(code.encode(data)).data == data
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=38),
+)
+@settings(max_examples=150)
+def test_any_single_flip_recovers_32bit(data, bit):
+    code = SECDED(32)
+    bit = bit % code.codeword_bits
+    word = code.encode(data) ^ (1 << bit)
+    result = code.decode(word)
+    assert result.ok
+    assert result.data == data
+
+
+def test_nvm_code_roundtrip_large_word():
+    data = int.from_bytes(bytes(range(1, 65)) + b"\x0f", "little")  # 516+ bits? trim
+    data &= (1 << 516) - 1
+    word = NVM_DATA_CODE.encode(data)
+    assert NVM_DATA_CODE.decode(word).data == data
+    # flip one bit somewhere in the middle
+    corrupted = word ^ (1 << 300)
+    result = NVM_DATA_CODE.decode(corrupted)
+    assert result.ok and result.data == data

@@ -1,0 +1,107 @@
+"""Tests for the private L1/L2 caches."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.private_cache import PrivateCache
+from repro.config import CacheGeometry
+
+
+def small_cache(ways=2, sets=4):
+    return PrivateCache(CacheGeometry(sets * ways * 64, ways))
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    assert cache.lookup(100) == PrivateCache.MISS
+    cache.fill(100, dirty=False)
+    assert cache.lookup(100) == PrivateCache.HIT
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_store_to_clean_line_signals_upgrade():
+    cache = small_cache()
+    cache.fill(5, dirty=False)
+    assert cache.lookup(5, is_write=True) == PrivateCache.HIT_UPGRADE
+    # second store: the line is already dirty, no upgrade needed
+    assert cache.lookup(5, is_write=True) == PrivateCache.HIT
+    assert cache.is_dirty(5)
+
+
+def test_lru_eviction_order():
+    cache = small_cache(ways=2, sets=1)
+    cache.fill(0, False)
+    cache.fill(1, False)
+    cache.lookup(0)  # 0 becomes MRU
+    victim = cache.fill(2, False)
+    assert victim == (1, False)
+
+
+def test_eviction_carries_dirtiness():
+    cache = small_cache(ways=1, sets=1)
+    cache.fill(0, dirty=True)
+    victim = cache.fill(1, dirty=False)
+    assert victim == (0, True)
+
+
+def test_fill_refreshes_existing_entry():
+    cache = small_cache(ways=2, sets=1)
+    cache.fill(0, False)
+    cache.fill(1, False)
+    assert cache.fill(0, dirty=True) is None  # refresh, no eviction
+    assert cache.is_dirty(0)
+    victim = cache.fill(2, False)
+    assert victim[0] == 1  # 0 was refreshed to MRU
+
+
+def test_set_isolation():
+    cache = small_cache(ways=1, sets=4)
+    for addr in range(4):
+        assert cache.fill(addr, False) is None  # different sets
+    assert cache.occupancy() == 4
+
+
+def test_invalidate():
+    cache = small_cache()
+    cache.fill(7, dirty=True)
+    assert cache.invalidate(7) == (True, True)
+    assert cache.invalidate(7) == (False, False)
+    assert not cache.contains(7)
+
+
+def test_set_dirty_noop_when_absent():
+    cache = small_cache()
+    cache.set_dirty(123)  # must not raise
+    assert not cache.is_dirty(123)
+
+
+def test_resident_blocks():
+    cache = small_cache()
+    cache.fill(1, False)
+    cache.fill(2, False)
+    assert sorted(cache.resident_blocks()) == [1, 2]
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_geometry(ops):
+    """Property: per-set occupancy is bounded by associativity."""
+    cache = small_cache(ways=2, sets=4)
+    for addr, is_write in ops:
+        if not cache.lookup(addr, is_write):
+            cache.fill(addr, is_write)
+    assert cache.occupancy() <= 8
+    for entries in cache._sets:
+        assert len(entries) <= 2
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_most_recent_block_always_resident(addrs):
+    """Property: the block just accessed is always resident."""
+    cache = small_cache(ways=2, sets=2)
+    for addr in addrs:
+        if not cache.lookup(addr):
+            cache.fill(addr, False)
+        assert cache.contains(addr)

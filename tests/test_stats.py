@@ -1,0 +1,56 @@
+"""Tests for the statistics containers."""
+
+import pytest
+
+from repro.cache.stats import CoreStats, HierarchyStats, LLCStats
+
+
+def test_llc_derived_metrics():
+    s = LLCStats()
+    s.gets, s.getx = 80, 20
+    s.gets_hits, s.getx_hits = 40, 10
+    assert s.accesses == 100
+    assert s.hits == 50
+    assert s.misses == 50
+    assert s.hit_rate == 0.5
+
+
+def test_llc_hit_rate_empty():
+    assert LLCStats().hit_rate == 0.0
+
+
+def test_snapshot_delta():
+    s = LLCStats()
+    s.gets = 5
+    snap = s.snapshot()
+    s.gets = 12
+    s.nvm_bytes_written = 640
+    delta = s.delta_since(snap)
+    assert delta["gets"] == 7
+    assert delta["nvm_bytes_written"] == 640
+    assert delta["getx"] == 0
+
+
+def test_core_stats_ipc():
+    c = CoreStats(instructions=100, cycles=50.0)
+    assert c.ipc == 2.0
+    assert CoreStats().ipc == 0.0
+
+
+def test_hierarchy_core_accessor_grows():
+    h = HierarchyStats()
+    c2 = h.core(2)
+    assert len(h.cores) == 3
+    assert h.core(2) is c2
+
+
+def test_mean_ipc_over_active_cores():
+    h = HierarchyStats()
+    h.core(0).instructions, h.core(0).cycles = 100, 100.0
+    h.core(1).instructions, h.core(1).cycles = 300, 100.0
+    assert h.mean_ipc == pytest.approx(2.0)
+    assert h.total_instructions == 400
+
+
+def test_mean_ipc_empty():
+    assert HierarchyStats().mean_ipc == 0.0

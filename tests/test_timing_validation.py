@@ -1,0 +1,63 @@
+"""Validation of the analytical timing model's directional behaviour.
+
+The absolute IPC of the analytical core is a modelling choice; what
+the reproduction depends on is that IPC responds *in the right
+direction and proportionately* to the quantities the insertion
+policies change.  These tests pin those responses.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import make_policy
+from repro.engine import Simulation
+from repro.experiments.common import SMOKE
+
+
+def run_with(config, mix="mix1", policy="bh", epochs=4, warm=2):
+    sim = Simulation(config, make_policy(policy), SMOKE.workload(mix))
+    epoch = config.dueling.epoch_cycles
+    return sim.run(cycles=epochs * epoch, warmup_cycles=warm * epoch)
+
+
+def test_ipc_decreases_with_memory_latency():
+    base_cfg = SMOKE.system()
+    slow_cfg = replace(base_cfg, latency=replace(base_cfg.latency, memory=500))
+    fast = run_with(base_cfg)
+    slow = run_with(slow_cfg)
+    assert slow.mean_ipc < fast.mean_ipc
+
+
+def test_ipc_decreases_with_nvm_latency():
+    base_cfg = SMOKE.system()
+    slow_cfg = SMOKE.system(nvm_latency_factor=3.0)
+    fast = run_with(base_cfg, policy="cp_sd")
+    slow = run_with(slow_cfg, policy="cp_sd")
+    assert slow.mean_ipc <= fast.mean_ipc
+
+
+def test_ipc_increases_with_mlp():
+    base_cfg = SMOKE.system()
+    wide_cfg = replace(base_cfg, cores=replace(base_cfg.cores, mlp=16.0))
+    narrow = run_with(replace(base_cfg, cores=replace(base_cfg.cores, mlp=2.0)))
+    wide = run_with(wide_cfg)
+    assert wide.mean_ipc > narrow.mean_ipc
+
+
+def test_higher_hit_rate_gives_higher_ipc():
+    """Across the policy spectrum, IPC orders with LLC hit rate."""
+    config = SMOKE.system()
+    results = {
+        name: run_with(config, policy=name, epochs=8, warm=5)
+        for name in ("bh", "lhybrid", "tap")
+    }
+    ordered = sorted(results.values(), key=lambda r: r.hit_rate)
+    ipcs = [r.mean_ipc for r in ordered]
+    assert ipcs == sorted(ipcs)
+
+
+def test_base_cpi_bounds_ipc():
+    config = SMOKE.system()
+    res = run_with(config)
+    assert res.mean_ipc <= 1.0 / config.cores.base_cpi + 1e-9

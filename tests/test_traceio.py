@@ -1,0 +1,118 @@
+"""Tests for trace file I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generator import AppTraceGenerator
+from repro.workloads.profiles import profile
+from repro.workloads.trace import MaterializedTrace, TraceRecord, materialize
+from repro.workloads.traceio import (
+    load_trace,
+    load_trace_csv,
+    save_trace,
+    save_trace_csv,
+)
+
+
+def sample_trace(n=200):
+    gen = AppTraceGenerator(profile("mcf17").scaled(1 / 32), 2, seed=7)
+    return materialize(gen, n)
+
+
+def test_binary_roundtrip(tmp_path):
+    trace = sample_trace()
+    path = tmp_path / "t.trc"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.records == trace.records
+
+
+def test_binary_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.trc"
+    path.write_bytes(b"NOTATRACE" + b"\x00" * 32)
+    with pytest.raises(ValueError, match="not a repro trace"):
+        load_trace(path)
+
+
+def test_binary_rejects_truncated(tmp_path):
+    trace = sample_trace(10)
+    path = tmp_path / "t.trc"
+    save_trace(trace, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:-5])
+    with pytest.raises(ValueError, match="truncated"):
+        load_trace(path)
+
+
+def test_binary_rejects_short_header(tmp_path):
+    path = tmp_path / "t.trc"
+    path.write_bytes(b"RE")
+    with pytest.raises(ValueError, match="truncated header"):
+        load_trace(path)
+
+
+def test_csv_roundtrip(tmp_path):
+    trace = sample_trace()
+    path = tmp_path / "t.csv"
+    save_trace_csv(trace, path)
+    loaded = load_trace_csv(path)
+    assert loaded.records == trace.records
+
+
+def test_csv_accepts_decimal_and_comments():
+    text = io.StringIO("# comment\n5,100,1\n0,0x40,0\n")
+    trace = load_trace_csv(text)
+    assert trace.records == [TraceRecord(5, 100, True), TraceRecord(0, 64, False)]
+
+
+def test_csv_rejects_malformed():
+    with pytest.raises(ValueError, match="expected 3 fields"):
+        load_trace_csv(io.StringIO("1,2\n"))
+    with pytest.raises(ValueError, match="negative"):
+        load_trace_csv(io.StringIO("-1,5,0\n"))
+
+
+def test_loaded_trace_drives_simulation(tmp_path):
+    """A trace written to disk replays identically through the engine."""
+    from repro.core import make_policy
+    from repro.engine import Simulation, Workload
+    from repro.experiments.common import SMOKE
+
+    scale = SMOKE
+    workload = scale.workload("mix1")
+    paths = []
+    for i, trace in enumerate(workload.traces):
+        path = tmp_path / f"core{i}.trc"
+        save_trace(trace, path)
+        paths.append(path)
+
+    reloaded = scale.workload("mix1")
+    reloaded.traces = [load_trace(p) for p in paths]
+
+    epoch = scale.system().dueling.epoch_cycles
+    r1 = Simulation(scale.system(), make_policy("bh"), workload).run(epoch, 0)
+    r2 = Simulation(scale.system(), make_policy("bh"), reloaded).run(epoch, 0)
+    assert r1.stats.llc.hits == r2.stats.llc.hits
+    assert r1.stats.llc.nvm_bytes_written == r2.stats.llc.nvm_bytes_written
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 2**32 - 1),
+            st.integers(0, 2**64 - 1),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_binary_roundtrip_arbitrary_records(tmp_path_factory, raw):
+    trace = MaterializedTrace([TraceRecord(*r) for r in raw])
+    path = tmp_path_factory.mktemp("traces") / "x.trc"
+    save_trace(trace, path)
+    assert load_trace(path).records == trace.records
