@@ -7,17 +7,24 @@ Commands
 ``forecast``  — lifetime forecast for one or more policies on a mix
 ``figure``    — regenerate one of the paper's tables/figures
 ``ablation``  — run one of the design-choice ablations
+``campaign``  — fault-tolerant multi-experiment run with resume
+
+Unknown mix/policy/scale/experiment names exit with code 2 and a
+one-line "did you mean" suggestion instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from .core import make_policy, registered_policies
 from .engine import Simulation
 from .experiments import (
+    EXPERIMENT_NAMES,
+    SCALE_NAMES,
     format_records,
     get_scale,
     run_compressor_ablation,
@@ -41,6 +48,41 @@ from .forecast import SECONDS_PER_MONTH, Forecaster
 from .workloads import APP_NAMES, MIX_NAMES
 
 
+class UsageError(Exception):
+    """A bad command-line value; printed one-line, exits with code 2."""
+
+
+def _did_you_mean(value: str, choices: Sequence[str]) -> str:
+    matches = difflib.get_close_matches(value, list(choices), n=1, cutoff=0.4)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+def _check_choice(kind: str, value: str, choices: Sequence[str]) -> str:
+    """Validate a named choice or raise a one-line :class:`UsageError`."""
+    if value not in choices:
+        raise UsageError(
+            f"unknown {kind} {value!r}{_did_you_mean(value, choices)} "
+            f"(choose from: {', '.join(sorted(choices))})"
+        )
+    return value
+
+
+def _resolve_scale(name: Optional[str]):
+    if name is not None:
+        _check_choice("scale", name, SCALE_NAMES)
+    try:
+        return get_scale(name)
+    except KeyError:
+        # env-var REPRO_SCALE may also hold a typo
+        import os
+
+        value = os.environ.get("REPRO_SCALE", "default")
+        raise UsageError(
+            f"unknown scale {value!r} (from REPRO_SCALE)"
+            f"{_did_you_mean(value, SCALE_NAMES)}"
+        ) from None
+
+
 def _policy_args(value: str):
     """Parse ``name`` or ``name:key=val,key=val`` policy specs."""
     if ":" not in value:
@@ -56,19 +98,26 @@ def _policy_args(value: str):
     return name, kwargs
 
 
+def _make_policy_checked(spec: str):
+    name, kwargs = _policy_args(spec)
+    _check_choice("policy", name, registered_policies())
+    return name, make_policy(name, **kwargs)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
-    print("policies:", ", ".join(registered_policies()))
-    print("mixes   :", ", ".join(MIX_NAMES))
-    print("apps    :", ", ".join(APP_NAMES))
-    print("scales  : smoke, default, full, paper  (env REPRO_SCALE)")
+    print("policies   :", ", ".join(registered_policies()))
+    print("mixes      :", ", ".join(MIX_NAMES))
+    print("apps       :", ", ".join(APP_NAMES))
+    print("scales     :", ", ".join(SCALE_NAMES), " (env REPRO_SCALE)")
+    print("experiments:", ", ".join(EXPERIMENT_NAMES), " (campaign)")
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    scale = get_scale(args.scale)
+    scale = _resolve_scale(args.scale)
     config = scale.system()
-    name, kwargs = _policy_args(args.policy)
-    policy = make_policy(name, **kwargs)
+    _check_choice("mix", args.mix, MIX_NAMES)
+    name, policy = _make_policy_checked(args.policy)
     workload = scale.workload(args.mix, seed=args.seed)
     sim = Simulation(config, policy, workload)
     epoch = config.dueling.epoch_cycles
@@ -92,14 +141,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_forecast(args: argparse.Namespace) -> int:
-    scale = get_scale(args.scale)
+    scale = _resolve_scale(args.scale)
     config = scale.system()
+    _check_choice("mix", args.mix, MIX_NAMES)
     epoch = config.dueling.epoch_cycles
     rows = []
     baseline_seconds = None
     for spec in args.policies:
-        name, kwargs = _policy_args(spec)
-        policy = make_policy(name, **kwargs)
+        _, policy = _make_policy_checked(spec)
         forecaster = Forecaster(
             config,
             policy,
@@ -167,25 +216,80 @@ _ABLATIONS = {
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    scale = get_scale(args.scale)
-    try:
-        runner = _FIGURES[args.id]
-    except KeyError:
-        print(f"unknown figure {args.id!r}; choose from {sorted(_FIGURES)}")
-        return 2
-    print(runner(scale))
+    scale = _resolve_scale(args.scale)
+    _check_choice("figure", args.id, tuple(_FIGURES))
+    print(_FIGURES[args.id](scale))
     return 0
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
-    scale = get_scale(args.scale)
-    try:
-        runner = _ABLATIONS[args.id]
-    except KeyError:
-        print(f"unknown ablation {args.id!r}; choose from {sorted(_ABLATIONS)}")
-        return 2
-    print(format_records(runner(scale), f"ablation: {args.id}"))
+    scale = _resolve_scale(args.scale)
+    _check_choice("ablation", args.id, tuple(_ABLATIONS))
+    print(format_records(_ABLATIONS[args.id](scale), f"ablation: {args.id}"))
     return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .harness import (
+        CampaignConfigError,
+        CampaignRunner,
+        CampaignSettings,
+        ChaosSpecError,
+        parse_chaos_spec,
+    )
+
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = parse_chaos_spec(args.chaos, seed=args.seed)
+        except ChaosSpecError as exc:
+            raise UsageError(str(exc)) from None
+
+    settings = CampaignSettings(
+        jobs=args.jobs,
+        task_timeout=args.timeout,
+        retries=args.retries,
+        backoff_base=args.backoff,
+        chaos=chaos,
+    )
+
+    if args.resume:
+        directory, resume = args.resume, True
+        scale_name = None
+        experiments: Sequence[str] = ()
+    else:
+        if not args.out:
+            raise UsageError("campaign needs --out DIR (or --resume DIR)")
+        directory, resume = args.out, False
+        scale_name = _resolve_scale(args.scale).name
+        experiments = [e.strip() for e in args.experiments.split(",") if e.strip()]
+        for name in experiments:
+            _check_choice("experiment", name, EXPERIMENT_NAMES)
+
+    try:
+        runner = CampaignRunner(
+            directory,
+            scale=scale_name or "default",
+            experiments=experiments,
+            settings=settings,
+            resume=resume,
+            progress=lambda message: print(message),
+        )
+    except CampaignConfigError as exc:
+        raise UsageError(str(exc)) from None
+    report = runner.run()
+
+    status = "OK" if report.ok else "INCOMPLETE"
+    print(
+        f"campaign {status}: {report.completed} completed, "
+        f"{report.skipped} skipped (verified), {len(report.failed)} failed, "
+        f"{report.retried_attempts} attempts retried"
+    )
+    for failed in report.failed:
+        last = failed.failures[-1] if failed.failures else None
+        detail = f" ({last.kind}: {last.detail})" if last else ""
+        print(f"  lost: {failed.task_id} after {failed.attempts} attempts{detail}")
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -224,13 +328,47 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ablation", help="run a design-choice ablation")
     p.add_argument("id", help=f"one of {sorted(_ABLATIONS)}")
     p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser(
+        "campaign",
+        help="fault-tolerant multi-experiment run with checkpoint/resume",
+    )
+    p.add_argument("--scale", default=argparse.SUPPRESS,
+                   help="smoke | default | full | paper (default: env)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="campaign directory to create")
+    p.add_argument("--resume", default=None, metavar="DIR",
+                   help="existing campaign directory to resume")
+    p.add_argument("--experiments", default=",".join(EXPERIMENT_NAMES),
+                   help=f"comma-separated subset of {EXPERIMENT_NAMES}")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel worker processes")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="per-task deadline in seconds")
+    p.add_argument("--retries", type=int, default=3,
+                   help="retry budget per task")
+    p.add_argument("--backoff", type=float, default=1.0,
+                   help="base of the exponential retry backoff, seconds")
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos injection seed")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="inject faults, e.g. p=0.3,kinds=crash,timeout,corrupt")
+    p.set_defaults(func=cmd_campaign)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if getattr(args, "func", None) is cmd_campaign and args.jobs is None:
+        import os
+
+        args.jobs = max(1, min(4, os.cpu_count() or 1))
+    try:
+        return args.func(args)
+    except UsageError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

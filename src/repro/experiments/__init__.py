@@ -5,10 +5,19 @@ from .ablations import (
     run_epoch_size_sweep,
     run_migration_ablation,
 )
+from .campaign_tasks import (
+    EXPERIMENT_NAMES,
+    EXPERIMENTS,
+    CampaignTask,
+    ExperimentDef,
+    enumerate_campaign_tasks,
+    run_campaign_task,
+)
 from .common import (
     DEFAULT,
     FULL,
     PAPER,
+    SCALE_NAMES,
     SMOKE,
     ExperimentScale,
     aged_capacities,
@@ -35,12 +44,17 @@ from .th_tradeoff import TradeoffPoint, run_fig9
 from .wear_leveling_study import run_wear_leveling_study
 
 __all__ = [
+    "CampaignTask",
     "CompressibilityRow",
     "DEFAULT",
+    "EXPERIMENTS",
+    "EXPERIMENT_NAMES",
+    "ExperimentDef",
     "ExperimentScale",
     "FULL",
     "LifetimeStudy",
     "PAPER",
+    "SCALE_NAMES",
     "SENSITIVITY_POLICIES",
     "SMOKE",
     "STANDARD_POLICIES",
@@ -50,6 +64,7 @@ __all__ = [
     "aged_capacities",
     "bound_ipc",
     "classify_app",
+    "enumerate_campaign_tasks",
     "forecast_policy",
     "format_records",
     "format_table",
@@ -68,6 +83,7 @@ __all__ = [
     "run_fig8a",
     "run_fig8b",
     "run_fig9",
+    "run_campaign_task",
     "run_lifetime_study",
     "run_one",
     "table1_rows",

@@ -150,6 +150,9 @@ _PRESETS: Dict[str, ExperimentScale] = {
     s.name: s for s in (SMOKE, DEFAULT, FULL, PAPER)
 }
 
+#: Valid ``--scale`` / ``REPRO_SCALE`` names, smallest first.
+SCALE_NAMES: Tuple[str, ...] = tuple(_PRESETS)
+
 
 def get_scale(name: Optional[str] = None) -> ExperimentScale:
     """Resolve the experiment scale (argument > env var > default)."""

@@ -71,3 +71,22 @@ def run_fig2(
         incompressible=sum(r.incompressible for r in rows) / len(rows),
     )
     return rows + [mean]
+
+
+# ----------------------------------------------------------------------
+# Campaign units — one retryable task per application.
+
+def enumerate_fig2_units(scale, apps: Optional[Sequence[str]] = None) -> List[dict]:
+    """One campaign unit per app (``scale`` is irrelevant to Fig. 2)."""
+    return [{"app": app} for app in (apps or APP_NAMES)]
+
+
+def run_fig2_unit(scale, app: str, n_blocks: int = 512, seed: int = 0) -> dict:
+    """Classify one app's blocks; the campaign-worker entry point."""
+    row = classify_app(app, n_blocks=n_blocks, seed=seed)
+    return {
+        "app": row.app,
+        "hcr": row.hcr,
+        "lcr": row.lcr,
+        "incompressible": row.incompressible,
+    }

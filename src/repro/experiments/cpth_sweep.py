@@ -112,3 +112,48 @@ def run_cpth_sweep(
     result.cp_sd_hit = mean(sd_hits)
     result.cp_sd_bytes = mean(sd_bytes)
     return result
+
+
+# ----------------------------------------------------------------------
+# Campaign units — one retryable task per (mix, policy[, CP_th]) run.
+# Normalisation to BH happens at aggregation time from the per-mix
+# ``bh`` baseline unit, so every unit stores raw counters.
+
+def enumerate_cpth_units(
+    scale,
+    mixes: Optional[Sequence[str]] = None,
+    cpth_values: Sequence[int] = CPTH_LADDER,
+) -> List[dict]:
+    units: List[dict] = []
+    for mix in tuple(mixes if mixes is not None else scale.mixes):
+        units.append({"mix": mix, "policy": "bh"})
+        units.append({"mix": mix, "policy": "cp_sd"})
+        for name in ("ca", "ca_rwr"):
+            for cpth in cpth_values:
+                units.append({"mix": mix, "policy": name, "cpth": int(cpth)})
+    return units
+
+
+def run_cpth_unit(
+    scale,
+    mix: str,
+    policy: str,
+    cpth: Optional[int] = None,
+    warmup_epochs: float = 6,
+    measure_epochs: float = 3,
+) -> dict:
+    """One Fig. 6/7 simulation; the campaign-worker entry point."""
+    config = scale.system()
+    kwargs = {} if cpth is None else {"cpth": int(cpth)}
+    res = run_one(
+        config,
+        make_policy(policy, **kwargs),
+        scale.workload(mix),
+        warmup_epochs,
+        measure_epochs,
+    )
+    return {
+        "llc_hits": res.llc_hits,
+        "nvm_bytes_written": res.nvm_bytes_written,
+        "mean_ipc": res.mean_ipc,
+    }

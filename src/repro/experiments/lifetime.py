@@ -217,3 +217,69 @@ def run_fig11c_equal_cost(
             }
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Campaign units — one retryable task per (mix, policy) forecast plus
+# the per-mix SRAM-only IPC bounds.  ``nvm_ways`` lets the Fig. 11c
+# equal-storage variants reuse the same unit runner.
+
+#: Policy key -> (registry name, kwargs), covering every study line-up.
+POLICY_SPECS: Dict[str, Tuple[str, dict]] = {
+    key: (name, kwargs) for key, name, kwargs in STANDARD_POLICIES
+}
+
+
+def enumerate_lifetime_units(
+    scale,
+    mixes: Optional[Sequence[str]] = None,
+    policies: Sequence[Tuple[str, str, dict]] = STANDARD_POLICIES,
+    with_bounds: bool = True,
+    sram_ways: int = 4,
+    nvm_ways: int = 12,
+) -> List[dict]:
+    units: List[dict] = []
+    for mix in tuple(mixes if mixes is not None else scale.mixes):
+        if with_bounds:
+            units.append({"mix": mix, "kind": "bound", "ways": sram_ways + nvm_ways})
+            units.append({"mix": mix, "kind": "bound", "ways": sram_ways})
+        for key, _, _ in policies:
+            unit = {"mix": mix, "kind": "forecast", "policy": key}
+            if nvm_ways != 12:
+                unit["nvm_ways"] = nvm_ways
+            units.append(unit)
+    return units
+
+
+def run_lifetime_unit(
+    scale,
+    mix: str,
+    kind: str = "forecast",
+    policy: Optional[str] = None,
+    ways: Optional[int] = None,
+    sram_ways: int = 4,
+    nvm_ways: int = 12,
+    cv: float = 0.2,
+    l2_kib: Optional[int] = None,
+    nvm_latency_factor: float = 1.0,
+) -> dict:
+    """One forecast or bound simulation; the campaign-worker entry point."""
+    workload = scale.workload(mix)
+    if kind == "bound":
+        return {"ipc": bound_ipc(scale, workload, int(ways))}
+    if kind != "forecast":
+        raise ValueError(f"unknown lifetime unit kind {kind!r}")
+    config = scale.system(
+        sram_ways=sram_ways,
+        nvm_ways=nvm_ways,
+        cv=cv,
+        l2_kib=l2_kib,
+        nvm_latency_factor=nvm_latency_factor,
+    )
+    name, kwargs = POLICY_SPECS[policy]
+    result = forecast_policy(scale, config, make_policy(name, **kwargs), workload)
+    return {
+        "initial_ipc": result.initial_ipc,
+        "lifetime_seconds": result.lifetime_or_horizon_seconds(),
+        "reached_stop": bool(result.reached_stop),
+    }

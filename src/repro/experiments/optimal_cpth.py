@@ -127,3 +127,47 @@ def run_fig8b(
         )
         for mix in mixes
     ]
+
+
+# ----------------------------------------------------------------------
+# Campaign units — one retryable task per (capacity, mix) winner
+# distribution (each unit internally sweeps the CP_th ladder).
+
+def enumerate_fig8_units(
+    scale,
+    capacities_pct: Sequence[int] = (100, 90, 80, 70, 60, 50),
+    mixes: Optional[Sequence[str]] = None,
+) -> List[dict]:
+    mixes = tuple(mixes if mixes is not None else scale.mixes)
+    return [
+        {"mix": mix, "capacity_pct": int(pct)}
+        for pct in capacities_pct
+        for mix in mixes
+    ]
+
+
+def run_fig8_unit(
+    scale,
+    mix: str,
+    capacity_pct: int = 100,
+    cpth_values: Sequence[int] = CPTH_LADDER,
+    warmup_epochs: float = 5,
+    measure_epochs: float = 6,
+) -> dict:
+    """One winner-distribution cell; the campaign-worker entry point."""
+    config = scale.system()
+    caps = (
+        aged_capacities(config, capacity_pct / 100.0)
+        if capacity_pct < 100
+        else None
+    )
+    dist = winner_distribution(
+        f"{capacity_pct}%/{mix}",
+        config,
+        scale.workload(mix),
+        caps,
+        cpth_values,
+        warmup_epochs,
+        measure_epochs,
+    )
+    return {"shares": {str(cpth): share for cpth, share in dist.shares.items()}}

@@ -97,3 +97,25 @@ def table5_rows() -> List[dict]:
     return [
         {"mix": mix, "apps": " ".join(apps)} for mix, apps in MIXES.items()
     ]
+
+
+# ----------------------------------------------------------------------
+# Campaign units — one retryable task per table.
+
+TABLE_RUNNERS = {
+    "table1": table1_rows,
+    "table2": table2_rows,
+    "table3": table3_rows,
+    "table4": table4_rows,
+    "table5": table5_rows,
+}
+
+
+def enumerate_table_units(scale) -> List[dict]:
+    """One campaign unit per paper table (``scale`` is irrelevant)."""
+    return [{"table": name} for name in sorted(TABLE_RUNNERS)]
+
+
+def run_table_unit(scale, table: str) -> dict:
+    """Regenerate one table; the campaign-worker entry point."""
+    return {"rows": TABLE_RUNNERS[table]()}

@@ -72,3 +72,58 @@ def run_fig9(
                 )
             )
     return points
+
+
+# ----------------------------------------------------------------------
+# Campaign units — one retryable task per (mix, Th, capacity) point
+# plus the per-mix BH baseline; normalisation happens at aggregation.
+
+def enumerate_fig9_units(
+    scale,
+    th_values: Sequence[float] = (0.0, 2.0, 4.0, 6.0, 8.0),
+    capacities_pct: Sequence[int] = (100, 90, 80),
+    mixes: Optional[Sequence[str]] = None,
+) -> List[dict]:
+    units: List[dict] = []
+    for mix in tuple(mixes if mixes is not None else scale.mixes):
+        units.append({"mix": mix, "policy": "bh", "capacity_pct": 100})
+        for pct in capacities_pct:
+            for th in th_values:
+                units.append(
+                    {
+                        "mix": mix,
+                        "policy": "cp_sd_th",
+                        "th": float(th),
+                        "capacity_pct": int(pct),
+                    }
+                )
+    return units
+
+
+def run_fig9_unit(
+    scale,
+    mix: str,
+    policy: str = "cp_sd_th",
+    th: Optional[float] = None,
+    tw: float = 5.0,
+    capacity_pct: int = 100,
+    warmup_epochs: float = 6,
+    measure_epochs: float = 6,
+) -> dict:
+    """One Fig. 9 simulation; the campaign-worker entry point."""
+    config = scale.system()
+    caps = aged_capacities(config, capacity_pct / 100.0) if capacity_pct < 100 else None
+    kwargs = {} if policy == "bh" else {"th": float(th), "tw": tw}
+    res = run_one(
+        config,
+        make_policy(policy, **kwargs),
+        scale.workload(mix),
+        warmup_epochs,
+        measure_epochs,
+        capacities=caps,
+    )
+    return {
+        "llc_hits": res.llc_hits,
+        "nvm_bytes_written": res.nvm_bytes_written,
+        "mean_ipc": res.mean_ipc,
+    }

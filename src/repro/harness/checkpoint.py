@@ -1,0 +1,110 @@
+"""Atomic, verifiable result checkpoints.
+
+Every campaign artefact — task results and the manifest itself — is
+written with :func:`write_atomic`: serialise to a temporary file in
+the *same directory*, ``fsync`` it, then ``rename`` over the final
+path (and ``fsync`` the directory so the rename survives a power
+cut).  A reader therefore only ever sees either the previous complete
+version or the new complete version, never a torn write.
+
+Integrity checking reuses :func:`repro.workloads.traceio.file_sha256`
+— the same streamed content hash the trace loader uses — so a result
+recorded in the manifest can be re-verified byte-for-byte on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+from ..workloads.traceio import file_sha256
+from .errors import CorruptResultError
+
+PathLike = Union[str, Path]
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_atomic(path: PathLike, data: bytes) -> str:
+    """Write ``data`` to ``path`` atomically; return its hex SHA-256.
+
+    The temporary file carries the writer's PID so concurrent workers
+    retrying the same task can never collide on the tmp name either.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # replace failed; don't litter
+            tmp.unlink()
+    _fsync_dir(path.parent)
+    return file_sha256(path)
+
+
+def dump_json(obj: Any) -> bytes:
+    """Canonical JSON serialisation (sorted keys, stable layout).
+
+    Determinism matters: a resumed campaign must reproduce the bytes
+    of an uninterrupted one, so result files must serialise
+    identically run-to-run.
+    """
+    return (json.dumps(obj, indent=2, sort_keys=True) + "\n").encode()
+
+
+def write_json_atomic(path: PathLike, obj: Any) -> str:
+    """Atomically write canonical JSON; return the file's SHA-256."""
+    return write_atomic(path, dump_json(obj))
+
+
+def load_result(path: PathLike) -> Dict[str, Any]:
+    """Load a task result file, raising ``CorruptResultError`` if bad."""
+    path = Path(path)
+    if not path.exists():
+        raise CorruptResultError(path, "missing")
+    try:
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CorruptResultError(path, f"unparsable JSON ({exc})") from None
+    if not isinstance(data, dict):
+        raise CorruptResultError(path, "not a JSON object")
+    return data
+
+
+def verify_result(
+    path: PathLike, task_id: str, expected_sha256: str = None
+) -> Tuple[Dict[str, Any], str]:
+    """Check a result file's integrity; return ``(payload, sha256)``.
+
+    Validates — in order — that the file exists and parses, that it
+    belongs to ``task_id``, that it reports success, and (when a
+    manifest hash is supplied) that its bytes still match it.
+    """
+    payload = load_result(path)
+    if payload.get("task_id") != task_id:
+        raise CorruptResultError(
+            path, f"task_id mismatch: {payload.get('task_id')!r} != {task_id!r}"
+        )
+    if payload.get("status") != "ok":
+        raise CorruptResultError(path, f"status is {payload.get('status')!r}")
+    actual = file_sha256(path)
+    if expected_sha256 is not None and actual != expected_sha256:
+        raise CorruptResultError(
+            path, f"sha256 mismatch: {actual} != {expected_sha256}"
+        )
+    return payload, actual

@@ -1,0 +1,76 @@
+"""Error taxonomy and failure records of the campaign harness.
+
+The scheduler never lets a worker exception, crash or hang escape as a
+Python traceback; every anomaly is folded into a typed
+:class:`AttemptFailure` record that drives the retry policy and, once
+retries are exhausted, the structured failure report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Failure kinds recorded per attempt.
+CRASH = "crash"            # worker process died (non-zero exit, signal)
+TIMEOUT = "timeout"        # worker exceeded the per-task deadline
+ERROR = "error"            # worker caught an exception and reported it
+CORRUPT = "corrupt-result" # result file unreadable or failed verification
+MISSING = "missing-result" # worker exited 0 but produced no result file
+
+FAILURE_KINDS = (CRASH, TIMEOUT, ERROR, CORRUPT, MISSING)
+
+
+class HarnessError(Exception):
+    """Base class for campaign harness errors."""
+
+
+class CampaignConfigError(HarnessError):
+    """The campaign was configured inconsistently (bad resume dir, ...)."""
+
+
+class CorruptResultError(HarnessError):
+    """A result file exists but is truncated, unparsable or mismatched."""
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"{path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+@dataclass
+class AttemptFailure:
+    """One failed attempt at one task."""
+
+    task_id: str
+    attempt: int
+    kind: str                      # one of FAILURE_KINDS
+    detail: str = ""               # exit code, timeout value, ...
+    traceback: Optional[str] = None
+
+    def to_json(self) -> dict:
+        record = {
+            "task_id": self.task_id,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+        if self.traceback:
+            record["traceback"] = self.traceback
+        return record
+
+
+@dataclass
+class TaskFailureReport:
+    """A task that exhausted its retry budget."""
+
+    task_id: str
+    attempts: int
+    failures: List[AttemptFailure] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "attempts": self.attempts,
+            "failures": [f.to_json() for f in self.failures],
+        }

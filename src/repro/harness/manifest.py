@@ -1,0 +1,206 @@
+"""The campaign manifest: one JSON file that owns the campaign's truth.
+
+``campaign.json`` lives at the root of a campaign directory and
+records what the campaign *is* (scale, experiments, chaos settings)
+and where every task *stands* (pending / complete / failed, with the
+result file's relative path and content hash).  It is rewritten
+atomically after every state change, so a campaign killed at any
+instant leaves a manifest describing exactly the completed work — the
+foundation of ``--resume``.
+
+Layout of a campaign directory::
+
+    campaign.json          # this manifest
+    results/<task>.json    # one verified result per completed task
+    errors/<task>.attemptN.json   # captured tracebacks of failures
+    failures.json          # final report of permanently-failed tasks
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .chaos import ChaosConfig
+from .checkpoint import verify_result, write_json_atomic
+from .errors import CampaignConfigError, CorruptResultError
+
+PathLike = Union[str, Path]
+
+MANIFEST_FORMAT = "repro-campaign/1"
+MANIFEST_NAME = "campaign.json"
+RESULTS_DIR = "results"
+ERRORS_DIR = "errors"
+FAILURES_NAME = "failures.json"
+
+PENDING = "pending"
+COMPLETE = "complete"
+FAILED = "failed"
+
+
+@dataclass
+class TaskEntry:
+    """Manifest state of one task."""
+
+    status: str = PENDING
+    result: Optional[str] = None       # relative path of the result file
+    sha256: Optional[str] = None
+    attempts: int = 0
+    error: Optional[dict] = None       # last failure, for FAILED tasks
+
+    def to_json(self) -> dict:
+        record = {"status": self.status, "attempts": self.attempts}
+        if self.result is not None:
+            record["result"] = self.result
+        if self.sha256 is not None:
+            record["sha256"] = self.sha256
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TaskEntry":
+        return cls(
+            status=data.get("status", PENDING),
+            result=data.get("result"),
+            sha256=data.get("sha256"),
+            attempts=int(data.get("attempts", 0)),
+            error=data.get("error"),
+        )
+
+
+@dataclass
+class CampaignManifest:
+    """In-memory mirror of ``campaign.json`` with atomic persistence."""
+
+    directory: Path
+    scale: str
+    experiments: Tuple[str, ...]
+    chaos: Optional[dict] = None       # last run's chaos settings (info only)
+    tasks: Dict[str, TaskEntry] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    @property
+    def results_dir(self) -> Path:
+        return self.directory / RESULTS_DIR
+
+    @property
+    def errors_dir(self) -> Path:
+        return self.directory / ERRORS_DIR
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: PathLike,
+        scale: str,
+        experiments,
+        chaos: Optional[ChaosConfig] = None,
+    ) -> "CampaignManifest":
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = cls(
+            directory=directory,
+            scale=scale,
+            experiments=tuple(experiments),
+            chaos=chaos.to_json() if chaos else None,
+        )
+        manifest.results_dir.mkdir(exist_ok=True)
+        manifest.errors_dir.mkdir(exist_ok=True)
+        manifest.save()
+        return manifest
+
+    @classmethod
+    def load(cls, directory: PathLike) -> "CampaignManifest":
+        directory = Path(directory)
+        path = directory / MANIFEST_NAME
+        if not path.exists():
+            raise CampaignConfigError(
+                f"{directory} is not a campaign directory (no {MANIFEST_NAME})"
+            )
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CampaignConfigError(f"{path}: corrupt manifest ({exc})") from None
+        if data.get("format") != MANIFEST_FORMAT:
+            raise CampaignConfigError(
+                f"{path}: unsupported manifest format {data.get('format')!r}"
+            )
+        manifest = cls(
+            directory=directory,
+            scale=data["scale"],
+            experiments=tuple(data["experiments"]),
+            chaos=data.get("chaos"),
+            tasks={
+                task_id: TaskEntry.from_json(entry)
+                for task_id, entry in data.get("tasks", {}).items()
+            },
+        )
+        manifest.results_dir.mkdir(exist_ok=True)
+        manifest.errors_dir.mkdir(exist_ok=True)
+        return manifest
+
+    def save(self) -> None:
+        write_json_atomic(
+            self.path,
+            {
+                "format": MANIFEST_FORMAT,
+                "scale": self.scale,
+                "experiments": list(self.experiments),
+                "chaos": self.chaos,
+                "tasks": {
+                    task_id: entry.to_json()
+                    for task_id, entry in sorted(self.tasks.items())
+                },
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def entry(self, task_id: str) -> TaskEntry:
+        return self.tasks.setdefault(task_id, TaskEntry())
+
+    def mark_complete(
+        self, task_id: str, result_relpath: str, sha256: str, attempts: int
+    ) -> None:
+        self.tasks[task_id] = TaskEntry(
+            status=COMPLETE, result=result_relpath, sha256=sha256, attempts=attempts
+        )
+        self.save()
+
+    def mark_failed(self, task_id: str, attempts: int, error: dict) -> None:
+        self.tasks[task_id] = TaskEntry(
+            status=FAILED, attempts=attempts, error=error
+        )
+        self.save()
+
+    # ------------------------------------------------------------------
+    def verified_complete(self, task_id: str) -> bool:
+        """Is this task complete *and* its result file intact on disk?
+
+        A manifest that says "complete" is not trusted blindly: the
+        result file must still exist, parse, belong to the task and
+        hash to the recorded digest.  Anything less re-runs the task.
+        """
+        entry = self.tasks.get(task_id)
+        if entry is None or entry.status != COMPLETE or not entry.result:
+            return False
+        try:
+            verify_result(
+                self.directory / entry.result, task_id, entry.sha256
+            )
+        except CorruptResultError:
+            return False
+        return True
+
+    def incomplete_tasks(self) -> List[str]:
+        return [
+            task_id
+            for task_id, entry in sorted(self.tasks.items())
+            if entry.status != COMPLETE
+        ]

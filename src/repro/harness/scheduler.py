@@ -1,0 +1,397 @@
+"""The fault-tolerant campaign scheduler.
+
+Drives a set of :class:`~repro.experiments.campaign_tasks.CampaignTask`
+units to completion across a pool of isolated worker processes:
+
+* **crash containment** — workers are plain ``multiprocessing``
+  processes; a dead worker is an event, never an exception;
+* **per-task timeouts** — a hung worker is killed at its deadline and
+  the attempt is recorded as a timeout;
+* **retry with exponential backoff** — failed attempts re-queue with
+  ``base * 2**(tries-1)`` delay (capped), until the retry budget is
+  exhausted;
+* **checkpointing** — each verified result updates the atomic
+  manifest, so progress survives the scheduler itself dying;
+* **resume** — a re-run skips every verified-complete task and
+  re-executes only missing, corrupt or failed ones.
+
+The scheduler is single-threaded and event-driven: it polls its
+children (cheaply) rather than trusting them to report, because the
+whole point is surviving children that cannot report.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..experiments.campaign_tasks import CampaignTask, enumerate_campaign_tasks
+from ..experiments.common import get_scale
+from .chaos import ChaosConfig
+from .checkpoint import load_result, verify_result, write_json_atomic
+from .errors import (
+    CRASH,
+    CORRUPT,
+    ERROR,
+    TIMEOUT,
+    AttemptFailure,
+    CampaignConfigError,
+    CorruptResultError,
+    TaskFailureReport,
+)
+from .manifest import FAILURES_NAME, MANIFEST_NAME, CampaignManifest
+from .worker import build_payload, worker_entry
+
+PathLike = Union[str, Path]
+Progress = Optional[Callable[[str], None]]
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass(frozen=True)
+class CampaignSettings:
+    """Tunables of one campaign invocation (not persisted)."""
+
+    jobs: int = max(1, min(4, os.cpu_count() or 1))
+    task_timeout: float = 600.0
+    retries: int = 3
+    backoff_base: float = 1.0
+    backoff_cap: float = 30.0
+    start_method: Optional[str] = None
+    chaos: Optional[ChaosConfig] = None
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one scheduler invocation."""
+
+    total: int = 0
+    completed: int = 0                 # tasks run to success this invocation
+    skipped: int = 0                   # verified complete before we started
+    retried_attempts: int = 0          # failed attempts that were retried
+    failed: List[TaskFailureReport] = field(default_factory=list)
+    interrupted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.failed
+            and not self.interrupted
+            and self.completed + self.skipped == self.total
+        )
+
+
+@dataclass
+class _TaskState:
+    task: CampaignTask
+    attempts: int = 0                  # lifetime attempts (manifest-seeded)
+    tries_this_run: int = 0
+    next_eligible: float = 0.0         # monotonic clock
+    failures: List[AttemptFailure] = field(default_factory=list)
+
+
+@dataclass
+class _Running:
+    state: _TaskState
+    process: multiprocessing.process.BaseProcess
+    deadline: float
+    attempt: int
+
+
+class CampaignRunner:
+    """Execute (or resume) one campaign directory to completion."""
+
+    def __init__(
+        self,
+        directory: PathLike,
+        scale: str = "default",
+        experiments: Sequence[str] = ("tables",),
+        settings: Optional[CampaignSettings] = None,
+        resume: bool = False,
+        progress: Progress = None,
+        stop_after: Optional[int] = None,
+    ):
+        self.directory = Path(directory)
+        self.settings = settings or CampaignSettings()
+        self.progress = progress or (lambda message: None)
+        self.stop_after = stop_after
+        self._ctx = multiprocessing.get_context(
+            self.settings.start_method or _default_start_method()
+        )
+
+        if resume:
+            self.manifest = CampaignManifest.load(self.directory)
+            self.scale_name = self.manifest.scale
+            self.experiments = self.manifest.experiments
+            self.manifest.chaos = (
+                self.settings.chaos.to_json() if self.settings.chaos else None
+            )
+        else:
+            if (self.directory / MANIFEST_NAME).exists():
+                raise CampaignConfigError(
+                    f"{self.directory} already holds a campaign; "
+                    f"continue it with --resume {self.directory}"
+                )
+            self.scale_name = scale
+            self.experiments = tuple(experiments)
+            self.manifest = CampaignManifest.create(
+                self.directory,
+                scale=self.scale_name,
+                experiments=self.experiments,
+                chaos=self.settings.chaos,
+            )
+        # Scale names are validated eagerly so a typo fails fast.
+        get_scale(self.scale_name)
+
+    # ------------------------------------------------------------------
+    def _clean_stale_tmp(self) -> None:
+        for tmp in self.manifest.results_dir.glob(".*.tmp.*"):
+            tmp.unlink()
+
+    def _error_path(self, task: CampaignTask, attempt: int) -> Path:
+        stem = task.filename[: -len(".json")]
+        return self.manifest.errors_dir / f"{stem}.attempt{attempt}.json"
+
+    def _launch(self, state: _TaskState) -> _Running:
+        task = state.task
+        attempt = state.attempts + 1
+        payload = build_payload(
+            task_id=task.task_id,
+            experiment=task.experiment,
+            unit=dict(task.unit),
+            scale=self.scale_name,
+            result_path=str(self.manifest.results_dir / task.filename),
+            error_path=str(self._error_path(task, attempt)),
+            attempt=attempt,
+            chaos=self.settings.chaos,
+            hang_seconds=self.settings.task_timeout * 4 + 60.0,
+        )
+        process = self._ctx.Process(
+            target=worker_entry, args=(payload,), daemon=True
+        )
+        process.start()
+        return _Running(
+            state=state,
+            process=process,
+            deadline=time.monotonic() + self.settings.task_timeout,
+            attempt=attempt,
+        )
+
+    def _kill(self, running: _Running) -> None:
+        process = running.process
+        if process.is_alive():
+            process.terminate()
+            process.join(2.0)
+            if process.is_alive():  # pragma: no cover - stubborn child
+                process.kill()
+                process.join(2.0)
+
+    # ------------------------------------------------------------------
+    def _classify_failure(
+        self, running: _Running, timed_out: bool
+    ) -> AttemptFailure:
+        task = running.state.task
+        result_path = self.manifest.results_dir / task.filename
+        if timed_out:
+            failure = AttemptFailure(
+                task.task_id,
+                running.attempt,
+                TIMEOUT,
+                f"exceeded {self.settings.task_timeout:g}s deadline",
+            )
+        else:
+            exitcode = running.process.exitcode
+            error_path = self._error_path(task, running.attempt)
+            if error_path.exists():
+                try:
+                    record = load_result(error_path)
+                    trace = record.get("traceback")
+                except CorruptResultError:
+                    trace = None
+                failure = AttemptFailure(
+                    task.task_id,
+                    running.attempt,
+                    ERROR,
+                    f"worker exited {exitcode}",
+                    traceback=trace,
+                )
+            elif exitcode == 0:
+                # Exited cleanly but the result did not verify.
+                try:
+                    verify_result(result_path, task.task_id)
+                    raise AssertionError("classify called on verified result")
+                except CorruptResultError as exc:
+                    failure = AttemptFailure(
+                        task.task_id, running.attempt, CORRUPT, exc.reason
+                    )
+            else:
+                failure = AttemptFailure(
+                    task.task_id,
+                    running.attempt,
+                    CRASH,
+                    f"worker died with exit code {exitcode}",
+                )
+        # Never leave a bad result file where resume could trip on it.
+        if result_path.exists():
+            try:
+                verify_result(result_path, task.task_id)
+            except CorruptResultError:
+                result_path.unlink()
+        return failure
+
+    def _settle(self, running: _Running, report: CampaignReport, timed_out: bool):
+        state = running.state
+        task = state.task
+        state.attempts = running.attempt
+        state.tries_this_run += 1
+
+        if not timed_out and running.process.exitcode == 0:
+            result_path = self.manifest.results_dir / task.filename
+            try:
+                _, sha256 = verify_result(result_path, task.task_id)
+            except CorruptResultError:
+                pass
+            else:
+                self.manifest.mark_complete(
+                    task.task_id,
+                    f"{self.manifest.results_dir.name}/{task.filename}",
+                    sha256,
+                    state.attempts,
+                )
+                report.completed += 1
+                self.progress(
+                    f"done {task.task_id} "
+                    f"({report.completed + report.skipped}/{report.total})"
+                )
+                return None
+
+        failure = self._classify_failure(running, timed_out)
+        state.failures.append(failure)
+        if state.tries_this_run > self.settings.retries:
+            self.manifest.mark_failed(
+                task.task_id, state.attempts, failure.to_json()
+            )
+            report.failed.append(
+                TaskFailureReport(task.task_id, state.attempts, state.failures)
+            )
+            self.progress(
+                f"FAILED {task.task_id} after {state.attempts} attempts "
+                f"({failure.kind}: {failure.detail})"
+            )
+            return None
+
+        delay = min(
+            self.settings.backoff_cap,
+            self.settings.backoff_base * (2 ** (state.tries_this_run - 1)),
+        )
+        state.next_eligible = time.monotonic() + delay
+        report.retried_attempts += 1
+        self.progress(
+            f"retry {task.task_id} in {delay:.2g}s "
+            f"(attempt {running.attempt} {failure.kind}: {failure.detail})"
+        )
+        return state
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignReport:
+        scale = get_scale(self.scale_name)
+        tasks = enumerate_campaign_tasks(self.experiments, scale)
+        self._clean_stale_tmp()
+
+        report = CampaignReport(total=len(tasks))
+        queue: List[_TaskState] = []
+        for task in tasks:
+            if self.manifest.verified_complete(task.task_id):
+                report.skipped += 1
+                continue
+            entry = self.manifest.entry(task.task_id)
+            queue.append(_TaskState(task=task, attempts=entry.attempts))
+        self.manifest.save()
+        if report.skipped:
+            self.progress(f"resume: skipping {report.skipped} verified tasks")
+
+        running: Dict[int, _Running] = {}
+        try:
+            while queue or running:
+                if (
+                    self.stop_after is not None
+                    and report.completed >= self.stop_after
+                ):
+                    report.interrupted = True
+                    break
+                now = time.monotonic()
+                # Launch every eligible task while worker slots are free.
+                index = 0
+                while index < len(queue) and len(running) < self.settings.jobs:
+                    if queue[index].next_eligible <= now:
+                        state = queue.pop(index)
+                        item = self._launch(state)
+                        running[item.process.pid] = item
+                    else:
+                        index += 1
+                # Settle finished and overdue workers.
+                for pid in list(running):
+                    item = running[pid]
+                    timed_out = False
+                    if item.process.is_alive():
+                        if time.monotonic() >= item.deadline:
+                            self._kill(item)
+                            timed_out = True
+                        else:
+                            continue
+                    item.process.join()
+                    del running[pid]
+                    requeue = self._settle(item, report, timed_out)
+                    if requeue is not None:
+                        queue.append(requeue)
+                time.sleep(0.02)
+        finally:
+            for item in running.values():
+                self._kill(item)
+
+        self._write_failure_report(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _write_failure_report(self, report: CampaignReport) -> None:
+        failures_path = self.directory / FAILURES_NAME
+        if report.failed:
+            write_json_atomic(
+                failures_path,
+                {
+                    "campaign": str(self.directory),
+                    "failed_tasks": [f.to_json() for f in report.failed],
+                },
+            )
+            self.progress(f"failure report: {failures_path}")
+        elif not report.interrupted and failures_path.exists():
+            failures_path.unlink()
+
+
+def run_campaign(
+    directory: PathLike,
+    scale: str = "default",
+    experiments: Sequence[str] = ("tables",),
+    settings: Optional[CampaignSettings] = None,
+    resume: bool = False,
+    progress: Progress = None,
+    stop_after: Optional[int] = None,
+) -> CampaignReport:
+    """Convenience wrapper: build a runner and run it."""
+    runner = CampaignRunner(
+        directory,
+        scale=scale,
+        experiments=experiments,
+        settings=settings,
+        resume=resume,
+        progress=progress,
+        stop_after=stop_after,
+    )
+    return runner.run()

@@ -1,0 +1,126 @@
+"""The isolated campaign worker: one process, one task attempt.
+
+Workers are real OS processes, so a segfault, OOM kill or runaway
+loop in one task can never take the scheduler or its siblings down.
+The contract with the scheduler is deliberately thin:
+
+* the worker receives one JSON payload (task, scale, paths, chaos);
+* on success it writes the task's result *atomically* to
+  ``result_path`` and exits 0;
+* on a caught exception it writes a traceback record to
+  ``error_path`` (also atomically) and exits 1;
+* anything else — a crash, a kill, a hang — is the scheduler's
+  problem to detect from the outside.
+
+Chaos injection runs *inside* the worker, exactly where real faults
+strike: a ``crash`` dies before any work, a ``timeout`` hangs past
+the scheduler's deadline, and a ``corrupt`` bypasses the atomic
+writer to leave a truncated result at the final path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+
+from .chaos import (
+    CHAOS_CRASH_EXIT,
+    CORRUPT_KIND,
+    CRASH_KIND,
+    TIMEOUT_KIND,
+    ChaosConfig,
+)
+from .checkpoint import write_json_atomic
+
+#: Bytes a chaos "corrupt" injection leaves at the result path —
+#: deliberately truncated JSON that can never parse.
+CORRUPT_BYTES = b'{"status": "ok", "task_id": "truncat'
+
+
+def build_payload(
+    task_id: str,
+    experiment: str,
+    unit: dict,
+    scale: str,
+    result_path: str,
+    error_path: str,
+    attempt: int,
+    chaos: ChaosConfig = None,
+    hang_seconds: float = 3600.0,
+) -> str:
+    """Serialise one attempt's instructions for ``worker_entry``."""
+    return json.dumps(
+        {
+            "task_id": task_id,
+            "experiment": experiment,
+            "unit": unit,
+            "scale": scale,
+            "result_path": result_path,
+            "error_path": error_path,
+            "attempt": attempt,
+            "chaos": chaos.to_json() if chaos else None,
+            "hang_seconds": hang_seconds,
+        }
+    )
+
+
+def _inject_chaos(payload: dict) -> None:
+    """Apply this attempt's (deterministic) injected fault, if any."""
+    if not payload.get("chaos"):
+        return
+    chaos = ChaosConfig.from_json(payload["chaos"])
+    kind = chaos.decide(payload["task_id"], payload["attempt"])
+    if kind is None:
+        return
+    if kind == CRASH_KIND:
+        os._exit(CHAOS_CRASH_EXIT)
+    elif kind == TIMEOUT_KIND:
+        time.sleep(payload["hang_seconds"])
+        os._exit(CHAOS_CRASH_EXIT)
+    elif kind == CORRUPT_KIND:
+        # A torn write: straight to the final path, no tmp+rename.
+        with open(payload["result_path"], "wb") as fh:
+            fh.write(CORRUPT_BYTES)
+        os._exit(0)
+
+
+def worker_entry(payload_json: str) -> None:
+    """Process entry point: run one task attempt and exit.
+
+    Must stay importable at module top level so it survives both
+    ``fork`` and ``spawn`` multiprocessing start methods.
+    """
+    payload = json.loads(payload_json)
+    _inject_chaos(payload)
+    try:
+        from ..experiments.campaign_tasks import run_campaign_task
+
+        result = run_campaign_task(
+            payload["experiment"], payload["unit"], payload["scale"]
+        )
+        write_json_atomic(
+            payload["result_path"],
+            {
+                "status": "ok",
+                "task_id": payload["task_id"],
+                "experiment": payload["experiment"],
+                "unit": payload["unit"],
+                "scale": payload["scale"],
+                "result": result,
+            },
+        )
+    except BaseException:
+        try:
+            write_json_atomic(
+                payload["error_path"],
+                {
+                    "task_id": payload["task_id"],
+                    "attempt": payload["attempt"],
+                    "traceback": traceback.format_exc(),
+                },
+            )
+        finally:
+            os._exit(1)
+    os._exit(0)

@@ -14,7 +14,15 @@ from .synthetic import (
     write_heavy_profile,
 )
 from .trace import CORE_ADDR_SHIFT, MaterializedTrace, TraceRecord, materialize
-from .traceio import load_trace, load_trace_csv, save_trace, save_trace_csv
+from .traceio import (
+    TraceFormatError,
+    file_sha256,
+    load_trace,
+    load_trace_csv,
+    save_trace,
+    save_trace_csv,
+    validate_trace,
+)
 
 __all__ = [
     "APP_NAMES",
@@ -26,7 +34,10 @@ __all__ = [
     "MIX_NAMES",
     "MaterializedTrace",
     "PROFILES",
+    "TraceFormatError",
     "TraceRecord",
+    "file_sha256",
+    "validate_trace",
     "homogeneous_mix",
     "incompressible_profile",
     "load_trace",

@@ -13,14 +13,23 @@ ELF traces, ...) only needs to convert them to one of two formats:
 Addresses must already be block-aligned (byte address >> 6) and carry
 the owning core in bits ``CORE_ADDR_SHIFT`` and up, matching
 :mod:`repro.workloads.trace`.
+
+Binary traces are *validated*, not trusted: the header magic, version
+and declared record count are checked against the bytes actually
+present, and any mismatch raises :class:`TraceFormatError` naming the
+offending file.  :func:`validate_trace` performs the same checks
+without materialising records, and :func:`file_sha256` is the
+content-hash helper the campaign checkpoint layer
+(:mod:`repro.harness.checkpoint`) reuses for result integrity.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import struct
 from pathlib import Path
-from typing import List, Union
+from typing import List, Tuple, Union
 
 from .trace import MaterializedTrace, TraceRecord
 
@@ -32,6 +41,73 @@ _RECORD = struct.Struct("<IQB")    # gap, block addr, is_write
 PathLike = Union[str, Path]
 
 
+class TraceFormatError(ValueError):
+    """A trace file failed integrity validation.
+
+    Carries the offending ``path`` so callers (and the campaign
+    failure report) can name the file without string-parsing the
+    message.
+    """
+
+    def __init__(self, path: PathLike, reason: str):
+        super().__init__(f"{path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+def file_sha256(path: PathLike, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 of a file's bytes (streamed, any size)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _validate_header(path: PathLike, header: bytes) -> Tuple[int, int]:
+    if len(header) != _HEADER.size:
+        raise TraceFormatError(
+            path, f"truncated header ({len(header)} of {_HEADER.size} bytes)"
+        )
+    magic, version, count = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise TraceFormatError(path, "not a repro trace file (bad magic)")
+    if version != _VERSION:
+        raise TraceFormatError(path, f"unsupported version {version}")
+    return version, count
+
+
+def validate_trace(path: PathLike) -> Tuple[int, int]:
+    """Check a binary trace's header and size without parsing records.
+
+    Returns ``(version, record_count)``; raises
+    :class:`TraceFormatError` on bad magic, unsupported version, or a
+    declared record count that disagrees with the bytes actually
+    present (short *or* trailing).
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        version, count = _validate_header(path, fh.read(_HEADER.size))
+    payload_bytes = path.stat().st_size - _HEADER.size
+    expected = count * _RECORD.size
+    if payload_bytes < expected:
+        raise TraceFormatError(
+            path,
+            f"truncated records: header declares {count} records "
+            f"({expected} bytes) but only {payload_bytes} bytes present",
+        )
+    if payload_bytes > expected:
+        raise TraceFormatError(
+            path,
+            f"trailing data: header declares {count} records "
+            f"({expected} bytes) but {payload_bytes} bytes present",
+        )
+    return version, count
+
+
 def save_trace(trace: MaterializedTrace, path: PathLike) -> None:
     """Write a trace in the binary ``.trc`` format."""
     with open(path, "wb") as fh:
@@ -41,23 +117,18 @@ def save_trace(trace: MaterializedTrace, path: PathLike) -> None:
 
 
 def load_trace(path: PathLike) -> MaterializedTrace:
-    """Read a binary ``.trc`` trace."""
+    """Read a binary ``.trc`` trace, validating it first."""
+    _, count = validate_trace(path)
     with open(path, "rb") as fh:
-        header = fh.read(_HEADER.size)
-        if len(header) != _HEADER.size:
-            raise ValueError(f"{path}: truncated header")
-        magic, version, count = _HEADER.unpack(header)
-        if magic != _MAGIC:
-            raise ValueError(f"{path}: not a repro trace file")
-        if version != _VERSION:
-            raise ValueError(f"{path}: unsupported version {version}")
+        fh.seek(_HEADER.size)
         payload = fh.read(count * _RECORD.size)
-        if len(payload) != count * _RECORD.size:
-            raise ValueError(f"{path}: truncated records")
     records: List[TraceRecord] = []
-    for offset in range(0, len(payload), _RECORD.size):
-        gap, addr, is_write = _RECORD.unpack_from(payload, offset)
-        records.append(TraceRecord(gap, addr, bool(is_write)))
+    try:
+        for offset in range(0, len(payload), _RECORD.size):
+            gap, addr, is_write = _RECORD.unpack_from(payload, offset)
+            records.append(TraceRecord(gap, addr, bool(is_write)))
+    except struct.error as exc:  # pragma: no cover - size already checked
+        raise TraceFormatError(path, f"undecodable record: {exc}") from None
     return MaterializedTrace(records)
 
 

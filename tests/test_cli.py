@@ -49,3 +49,60 @@ def test_figure_command_unknown(capsys):
 
 def test_ablation_command_unknown(capsys):
     assert main(["--scale", "smoke", "ablation", "nope"]) == 2
+
+
+# ----------------------------------------------------------------------
+# did-you-mean errors (exit code 2, one-line message, no traceback)
+
+def test_unknown_mix_suggests(capsys):
+    rc = main(["--scale", "smoke", "simulate", "--mix", "mix99", "--policy", "bh"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown mix 'mix99'" in err
+    assert "did you mean 'mix9'" in err
+
+
+def test_unknown_policy_suggests(capsys):
+    rc = main(["--scale", "smoke", "simulate", "--mix", "mix1", "--policy", "cp_ds"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown policy 'cp_ds'" in err
+    assert "did you mean 'cp_sd'" in err
+
+
+def test_unknown_scale_suggests(capsys):
+    rc = main(["--scale", "smkoe", "simulate"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown scale 'smkoe'" in err
+    assert "did you mean 'smoke'" in err
+
+
+def test_unknown_forecast_policy_suggests(capsys):
+    rc = main(["--scale", "smoke", "forecast", "--mix", "mix1", "lhybird"])
+    assert rc == 2
+    assert "did you mean 'lhybrid'" in capsys.readouterr().err
+
+
+def test_campaign_requires_out_or_resume(capsys):
+    rc = main(["campaign", "--scale", "smoke"])
+    assert rc == 2
+    assert "--out" in capsys.readouterr().err
+
+
+def test_campaign_unknown_experiment_suggests(tmp_path, capsys):
+    rc = main(
+        ["campaign", "--scale", "smoke", "--out", str(tmp_path / "c"),
+         "--experiments", "fig10"]
+    )
+    assert rc == 2
+    assert "did you mean 'fig10a'" in capsys.readouterr().err
+
+
+def test_campaign_bad_chaos_spec(tmp_path, capsys):
+    rc = main(
+        ["campaign", "--scale", "smoke", "--out", str(tmp_path / "c"),
+         "--chaos", "p=banana"]
+    )
+    assert rc == 2
+    assert "chaos" in capsys.readouterr().err

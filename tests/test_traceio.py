@@ -116,3 +116,71 @@ def test_binary_roundtrip_arbitrary_records(tmp_path_factory, raw):
     path = tmp_path_factory.mktemp("traces") / "x.trc"
     save_trace(trace, path)
     assert load_trace(path).records == trace.records
+
+
+# ----------------------------------------------------------------------
+# integrity validation (TraceFormatError, validate_trace, file_sha256)
+
+def test_errors_are_trace_format_errors(tmp_path):
+    from repro.workloads.traceio import TraceFormatError
+
+    path = tmp_path / "bad.trc"
+    path.write_bytes(b"NOTATRACE" + b"\x00" * 32)
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_trace(path)
+    assert excinfo.value.path == str(path)
+    assert TraceFormatError.__bases__ == (ValueError,)  # back-compat
+
+
+def test_rejects_wrong_version(tmp_path):
+    import struct
+
+    from repro.workloads.traceio import TraceFormatError
+
+    path = tmp_path / "v9.trc"
+    path.write_bytes(struct.pack("<8sII", b"REPROTRC", 9, 0))
+    with pytest.raises(TraceFormatError, match="unsupported version"):
+        load_trace(path)
+
+
+def test_rejects_count_bytes_mismatch(tmp_path):
+    """The declared record count must match the bytes actually present."""
+    import struct
+
+    from repro.workloads.traceio import TraceFormatError, validate_trace
+
+    record = struct.pack("<IQB", 1, 64, 0)
+    # header claims 3 records, file holds 2 -> truncated
+    short = tmp_path / "short.trc"
+    short.write_bytes(struct.pack("<8sII", b"REPROTRC", 1, 3) + record * 2)
+    with pytest.raises(TraceFormatError, match="truncated records"):
+        validate_trace(short)
+    with pytest.raises(TraceFormatError, match="truncated records"):
+        load_trace(short)
+
+    # header claims 1 record, file holds 2 -> trailing data is an error
+    # too (a silent short read would hide generator/converter bugs)
+    extra = tmp_path / "extra.trc"
+    extra.write_bytes(struct.pack("<8sII", b"REPROTRC", 1, 1) + record * 2)
+    with pytest.raises(TraceFormatError, match="trailing data"):
+        validate_trace(extra)
+
+
+def test_validate_trace_accepts_good_file(tmp_path):
+    from repro.workloads.traceio import validate_trace
+
+    trace = sample_trace(25)
+    path = tmp_path / "ok.trc"
+    save_trace(trace, path)
+    version, count = validate_trace(path)
+    assert version == 1 and count == 25
+
+
+def test_file_sha256_matches_hashlib(tmp_path):
+    import hashlib
+
+    from repro.workloads.traceio import file_sha256
+
+    path = tmp_path / "blob.bin"
+    path.write_bytes(b"x" * 100_000)
+    assert file_sha256(path) == hashlib.sha256(b"x" * 100_000).hexdigest()
