@@ -1,0 +1,128 @@
+"""Baseline comparison: turn a bench run into a pass/fail gate.
+
+A committed ``BENCH_<label>.json`` is the performance contract; this
+module diffs a fresh run against it.  The verdict is driven by the
+geomean ratio (current / baseline):
+
+* ``regression``  — ratio below ``1 - threshold``; the CLI exits 1;
+* ``improvement`` — ratio above ``1 + threshold`` (time to re-commit
+  the baseline so the gate tightens);
+* ``ok``          — within the threshold band;
+* ``missing-baseline`` — no baseline document to compare against.
+
+Per-case ratios are reported too, because a flat geomean can hide one
+policy getting slower while another gets faster.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+PathLike = Union[str, Path]
+
+STATUS_REGRESSION = "regression"
+STATUS_IMPROVEMENT = "improvement"
+STATUS_OK = "ok"
+STATUS_MISSING_BASELINE = "missing-baseline"
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One (policy, mix) cell diffed against the baseline."""
+
+    policy: str
+    mix: str
+    baseline_mcycles_per_s: float
+    current_mcycles_per_s: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_mcycles_per_s <= 0:
+            return 0.0
+        return self.current_mcycles_per_s / self.baseline_mcycles_per_s
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of comparing one bench run to one baseline."""
+
+    status: str
+    threshold: float
+    geomean_ratio: float = 0.0
+    baseline_geomean: float = 0.0
+    current_geomean: float = 0.0
+    cases: List[CaseComparison] = field(default_factory=list)
+    missing_cases: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status != STATUS_REGRESSION
+
+    def summary(self) -> str:
+        if self.status == STATUS_MISSING_BASELINE:
+            return "bench: no baseline to compare against"
+        return (
+            f"bench {self.status}: geomean {self.current_geomean:.3f} "
+            f"vs baseline {self.baseline_geomean:.3f} Mcycles/s "
+            f"({self.geomean_ratio:.2f}x, threshold +/-{self.threshold:.0%})"
+        )
+
+
+def load_bench(path: PathLike) -> Optional[dict]:
+    """Load a BENCH_*.json document, or None if the file is absent."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def compare_benches(
+    current: dict, baseline: Optional[dict], threshold: float = 0.10
+) -> BenchComparison:
+    """Diff two bench documents (see module docstring for the verdict)."""
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    if baseline is None:
+        return BenchComparison(status=STATUS_MISSING_BASELINE, threshold=threshold)
+
+    base_cases = {
+        (c["policy"], c["mix"]): c for c in baseline.get("cases", [])
+    }
+    cases: List[CaseComparison] = []
+    missing: List[str] = []
+    for case in current.get("cases", []):
+        key = (case["policy"], case["mix"])
+        base = base_cases.get(key)
+        if base is None:
+            missing.append(f"{key[0]}/{key[1]}")
+            continue
+        cases.append(
+            CaseComparison(
+                policy=case["policy"],
+                mix=case["mix"],
+                baseline_mcycles_per_s=base["mcycles_per_s"],
+                current_mcycles_per_s=case["mcycles_per_s"],
+            )
+        )
+
+    baseline_geomean = baseline.get("geomean_mcycles_per_s", 0.0)
+    current_geomean = current.get("geomean_mcycles_per_s", 0.0)
+    ratio = current_geomean / baseline_geomean if baseline_geomean > 0 else 0.0
+    if ratio < 1.0 - threshold:
+        status = STATUS_REGRESSION
+    elif ratio > 1.0 + threshold:
+        status = STATUS_IMPROVEMENT
+    else:
+        status = STATUS_OK
+    return BenchComparison(
+        status=status,
+        threshold=threshold,
+        geomean_ratio=ratio,
+        baseline_geomean=baseline_geomean,
+        current_geomean=current_geomean,
+        cases=cases,
+        missing_cases=missing,
+    )

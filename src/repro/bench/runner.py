@@ -1,0 +1,223 @@
+"""The benchmark runner behind ``python -m repro bench``.
+
+Three things are timed, because they bound three different layers of a
+reproduction campaign:
+
+* **workload build** — cold construction of one mix's traces + data
+  model (what every campaign worker pays before simulating anything);
+* **raw replay** — iterating the reference stream with no hierarchy
+  attached (the floor the engine's record-delivery protocol sets);
+* **simulation** — simulated Mcycles per wall-clock second for every
+  (policy, mix) cell of the matrix, the number every figure's
+  end-to-end time divides by.
+
+The headline metric is the **geometric mean of Mcycles/s** across the
+matrix — geomean, as in the instrumentation-infra reporting idiom, so
+no single fast case can buy back a regression elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core import make_policy
+from ..engine import Simulation, Workload
+from ..experiments.common import ExperimentScale, geometric_mean
+
+#: Schema tag stamped into every BENCH_*.json (bump on layout change).
+BENCH_SCHEMA = "repro-bench/1"
+
+PathLike = Union[str, Path]
+
+#: Default policy matrix: the paper's baselines plus its proposals.
+DEFAULT_POLICIES: Tuple[str, ...] = (
+    "bh", "bh_cp", "lhybrid", "tap", "ca", "ca_rwr", "cp_sd",
+)
+
+
+@dataclass(frozen=True)
+class BenchMatrix:
+    """One bench invocation's parameters (everything that shapes load)."""
+
+    policies: Tuple[str, ...] = DEFAULT_POLICIES
+    mixes: Tuple[str, ...] = ("mix1", "mix4")
+    epochs: float = 2.0
+    warmup_epochs: float = 0.5
+    seed: int = 0
+    repeats: int = 1
+
+
+def _host_metadata() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _time_workload_build(scale: ExperimentScale, mix: str, seed: int) -> Tuple[Workload, dict]:
+    start = time.perf_counter()
+    workload = scale.workload(mix, seed=seed)
+    seconds = time.perf_counter() - start
+    records = sum(len(t) for t in workload.traces)
+    return workload, {
+        "mix": mix,
+        "seconds": seconds,
+        "records": records,
+        "records_per_s": records / seconds if seconds > 0 else 0.0,
+    }
+
+
+def _time_raw_replay(workload: Workload, n_records: int) -> dict:
+    """Drain ``n_records`` records per core with no hierarchy attached.
+
+    Uses the engine's actual delivery protocol — flat column arrays
+    when the trace provides them, the legacy ``player()`` generator
+    otherwise — so the number reflects what ``Simulation.run`` really
+    pays per record before any cache modelling starts.
+    """
+    total = 0
+    start = time.perf_counter()
+    for trace in workload.traces:
+        columns = getattr(trace, "replay_columns", None)
+        if columns is not None:
+            gaps, addrs, writes = columns()
+            n = len(addrs)
+            cursor = 0
+            sink = 0
+            for _ in range(n_records):
+                sink += gaps[cursor] + addrs[cursor] + writes[cursor]
+                cursor += 1
+                if cursor == n:
+                    cursor = 0
+        else:  # pre-columns engines: per-record generator protocol
+            player = trace.player()
+            sink = 0
+            for _ in range(n_records):
+                gap, addr, is_write = next(player)
+                sink += gap + addr + is_write
+        total += n_records
+    seconds = time.perf_counter() - start
+    return {
+        "records": total,
+        "seconds": seconds,
+        "records_per_s": total / seconds if seconds > 0 else 0.0,
+    }
+
+
+def _time_case(
+    scale: ExperimentScale,
+    workload: Workload,
+    policy_name: str,
+    mix: str,
+    matrix: BenchMatrix,
+) -> dict:
+    config = scale.system()
+    epoch = config.dueling.epoch_cycles
+    cycles = epoch * (matrix.warmup_epochs + matrix.epochs)
+    warmup = epoch * matrix.warmup_epochs
+    best_seconds = None
+    result = None
+    for _ in range(max(1, matrix.repeats)):
+        sim = Simulation(config, make_policy(policy_name), workload)
+        start = time.perf_counter()
+        result = sim.run(cycles=cycles, warmup_cycles=warmup)
+        seconds = time.perf_counter() - start
+        if best_seconds is None or seconds < best_seconds:
+            best_seconds = seconds
+    assert result is not None and best_seconds is not None
+    mcycles = cycles / 1e6
+    return {
+        "policy": policy_name,
+        "mix": mix,
+        "simulated_cycles": cycles,
+        "seconds": best_seconds,
+        "mcycles_per_s": mcycles / best_seconds if best_seconds > 0 else 0.0,
+        "llc_accesses": result.stats.llc.accesses,
+        "demand_accesses": sum(c.accesses for c in result.stats.cores),
+        "mean_ipc": result.mean_ipc,
+    }
+
+
+def run_bench(
+    scale: ExperimentScale,
+    matrix: Optional[BenchMatrix] = None,
+    label: str = "engine",
+    progress=None,
+) -> dict:
+    """Run the full matrix and return the canonical result document."""
+    matrix = matrix or BenchMatrix()
+    say = progress or (lambda message: None)
+
+    # Workload build is timed cold on the first mix; the built workloads
+    # are then shared across that mix's policy cases, exactly as the
+    # sweep experiments share them.
+    workloads = {}
+    build_info = None
+    for mix in matrix.mixes:
+        workload, info = _time_workload_build(scale, mix, matrix.seed)
+        workloads[mix] = workload
+        if build_info is None:
+            build_info = info
+        say(f"built {mix}: {info['records']} records in {info['seconds']:.2f}s")
+
+    first = workloads[matrix.mixes[0]]
+    replay_records = min(len(first.traces[0]), 200_000)
+    raw_replay = _time_raw_replay(first, replay_records)
+    say(
+        f"raw replay: {raw_replay['records_per_s'] / 1e6:.2f} Mrecords/s "
+        f"({raw_replay['records']} records)"
+    )
+
+    cases: List[dict] = []
+    for mix in matrix.mixes:
+        for policy_name in matrix.policies:
+            case = _time_case(scale, workloads[mix], policy_name, mix, matrix)
+            cases.append(case)
+            say(
+                f"{policy_name:>8} on {mix}: "
+                f"{case['mcycles_per_s']:.3f} Mcycles/s "
+                f"({case['seconds']:.2f}s)"
+            )
+
+    geomean = geometric_mean([c["mcycles_per_s"] for c in cases])
+    say(f"geomean: {geomean:.3f} Mcycles/s over {len(cases)} cases")
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "created_unix": time.time(),
+        "host": _host_metadata(),
+        "scale": scale.name,
+        "matrix": {
+            "policies": list(matrix.policies),
+            "mixes": list(matrix.mixes),
+            "epochs": matrix.epochs,
+            "warmup_epochs": matrix.warmup_epochs,
+            "seed": matrix.seed,
+            "repeats": matrix.repeats,
+        },
+        "workload_build": build_info,
+        "raw_replay": raw_replay,
+        "cases": cases,
+        "geomean_mcycles_per_s": geomean,
+    }
+
+
+def write_bench(document: dict, out_dir: PathLike) -> Path:
+    """Write ``BENCH_<label>.json`` under ``out_dir`` (atomically)."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{document['label']}.json"
+    tmp = out_dir / f".{path.name}.tmp.{os.getpid()}"
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path

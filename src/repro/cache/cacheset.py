@@ -32,6 +32,8 @@ class CacheSet:
         "reuse",
         "recency",
         "way_of",
+        "free_sram",
+        "free_nvm",
     )
 
     def __init__(self, index: int, sram_ways: int, nvm_ways: int) -> None:
@@ -46,6 +48,13 @@ class CacheSet:
         self.reuse: List[ReuseClass] = [ReuseClass.NONE] * n
         self.recency: List[int] = []         # valid ways, LRU first, MRU last
         self.way_of = {}                     # addr -> way
+        # Count of *empty* frames per part (disabled NVM frames still
+        # count — they hold no block).  Lets the fill path skip the
+        # invalid-way scan for full sets, the steady-state common case.
+        # Every tag transition (here and at the inlined hot-path sites)
+        # keeps these in step.
+        self.free_sram = sram_ways
+        self.free_nvm = nvm_ways
 
     # ------------------------------------------------------------------
     def part_of(self, way: int) -> int:
@@ -98,6 +107,10 @@ class CacheSet:
         self.reuse[way] = reuse
         self.recency.append(way)
         self.way_of[addr] = way
+        if way < self.sram_ways:
+            self.free_sram -= 1
+        else:
+            self.free_nvm -= 1
 
     def evict(self, way: int) -> Tuple[int, bool, int, ReuseClass]:
         """Remove the block at ``way``; returns (addr, dirty, csize, reuse)."""
@@ -112,6 +125,10 @@ class CacheSet:
         self.reuse[way] = ReuseClass.NONE
         self.recency.remove(way)
         del self.way_of[addr]
+        if way < self.sram_ways:
+            self.free_sram += 1
+        else:
+            self.free_nvm += 1
         return info
 
     def invalid_way(self, part: int) -> Optional[int]:

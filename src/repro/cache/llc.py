@@ -28,7 +28,7 @@ from ..config import SystemConfig
 from ..core.policy import GLOBAL, FillContext, InsertionPolicy
 from ..nvm.faultmap import FaultMap
 from ..nvm.wear import WearTracker
-from .block import MetadataTable, ReuseClass
+from .block import BlockMeta, MetadataTable, ReuseClass
 from .cacheset import NVM, SRAM, CacheSet
 from .replacement import usable_invalid_way
 from .stats import LLCStats
@@ -54,6 +54,10 @@ class RequestResult(NamedTuple):
     part: Optional[int]      # SRAM or NVM on a hit
     dirty: bool              # resident copy was dirty (GetX takes it over)
     invalidated: bool        # GetX invalidate-on-hit fired
+
+
+#: Shared miss result — immutable, so one instance serves every miss.
+_MISS = RequestResult(False, None, False, False)
 
 
 class HybridLLC:
@@ -82,10 +86,34 @@ class HybridLLC:
         self.wear = WearTracker(geom.n_sets, geom.nvm_ways)
         self.stats = stats if stats is not None else LLCStats()
         self._size_fn = size_fn
+        # ``policy.compressed`` is a plain class attribute fixed at
+        # construction; sizes_of runs once per fill, so cache it.
+        self._compressed = bool(policy.compressed)
         #: called with (addr,) when a block leaves the LLC toward memory;
         #: the hierarchy uses it to garbage-collect block metadata.
         self.on_block_to_memory: Optional[Callable[[int], None]] = None
         policy.bind(self)
+        # Policy-hook fast path: most policies keep the base-class no-op
+        # hooks, so detect that once and skip the virtual call per
+        # hit / NVM write / SRAM eviction entirely.
+        base = InsertionPolicy
+        hook = policy.on_hit
+        self._on_hit = None if hook.__func__ is base.on_hit else hook
+        hook = policy.on_nvm_write
+        self._on_nvm_write = (
+            None if hook.__func__ is base.on_nvm_write else hook
+        )
+        hook = policy.handle_sram_eviction
+        self._handle_sram_eviction = (
+            None if hook.__func__ is base.handle_sram_eviction else hook
+        )
+        # Fill-path devirtualisation: a constant placement tuple skips
+        # the placement call, and the base-class (fit-)LRU victim scan
+        # is inlined when the policy doesn't override choose_victim.
+        self._static_placement = policy.static_placement
+        self._default_victim = (
+            policy.choose_victim.__func__ is base.choose_victim
+        )
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -99,7 +127,7 @@ class HybridLLC:
 
     def sizes_of(self, addr: int) -> Tuple[int, int]:
         """(compressed size, ECB size) the LLC would store for ``addr``."""
-        if not self.policy.compressed or self._size_fn is None:
+        if not self._compressed or self._size_fn is None:
             return self.block_size, self.block_size
         return self._size_fn(addr)
 
@@ -107,9 +135,7 @@ class HybridLLC:
         """Effective capacity of a frame: 64 for SRAM, fault-map for NVM."""
         if way < cache_set.sram_ways:
             return self.block_size
-        return int(
-            self.faultmap.capacities[cache_set.index, way - cache_set.sram_ways]
-        )
+        return self.faultmap.rows[cache_set.index][way - cache_set.sram_ways]
 
     def contains(self, addr: int) -> bool:
         return self.set_of(addr).find(addr) is not None
@@ -120,36 +146,64 @@ class HybridLLC:
     def request(
         self, addr: int, is_getx: bool, meta_table: MetadataTable
     ) -> RequestResult:
-        cache_set = self.set_of(addr)
+        # One call per L2 miss: set lookup, metadata classification and
+        # recency update are inlined (classify_llc_hit semantics copied
+        # verbatim from MetadataTable).
+        cache_set = self.sets[addr & self._set_mask]
         stats = self.stats
         if is_getx:
             stats.getx += 1
         else:
             stats.gets += 1
-        way = cache_set.find(addr)
+        way = cache_set.way_of.get(addr)
         if way is None:
-            return RequestResult(False, None, False, False)
+            return _MISS
 
-        part = cache_set.part_of(way)
         copy_dirty = cache_set.dirty[way]
-        meta = meta_table.classify_llc_hit(addr, is_getx, copy_dirty)
+        table = meta_table._table
+        meta = table.get(addr)
+        if meta is None:
+            meta = BlockMeta()
+            table[addr] = meta
+        meta.llc_hits += 1
+        if is_getx or copy_dirty:
+            meta.reuse = ReuseClass.WRITE
+        elif meta.reuse is not ReuseClass.WRITE:
+            meta.reuse = ReuseClass.READ
         cache_set.reuse[way] = meta.reuse
         if is_getx:
             stats.getx_hits += 1
         else:
             stats.gets_hits += 1
-        if part == SRAM:
+        if way < cache_set.sram_ways:
+            part = SRAM
             stats.hits_sram += 1
         else:
+            part = NVM
             stats.hits_nvm += 1
-        self.policy.on_hit(cache_set, way, is_getx)
+        if self._on_hit is not None:
+            self._on_hit(cache_set, way, is_getx)
 
         if is_getx:
             # Invalidate-on-hit: the block (with its dirty data) moves to
             # the requester; no memory writeback happens here.
-            cache_set.evict(way)
+            # (Inlined CacheSet.evict — the way is known valid.)
+            cache_set.tags[way] = None
+            cache_set.dirty[way] = False
+            cache_set.csize[way] = 0
+            cache_set.ecb[way] = 0
+            cache_set.reuse[way] = ReuseClass.NONE
+            cache_set.recency.remove(way)
+            del cache_set.way_of[addr]
+            if part == SRAM:
+                cache_set.free_sram += 1
+            else:
+                cache_set.free_nvm += 1
             return RequestResult(True, part, copy_dirty, True)
-        cache_set.touch(way)
+        recency = cache_set.recency
+        if recency[-1] != way:
+            recency.remove(way)
+            recency.append(way)
         return RequestResult(True, part, copy_dirty, False)
 
     def upgrade(self, addr: int, meta_table: MetadataTable) -> bool:
@@ -174,23 +228,28 @@ class HybridLLC:
     # fill path (L2 eviction)
     # ------------------------------------------------------------------
     def fill_from_l2(self, addr: int, dirty: bool, meta_table: MetadataTable) -> None:
-        cache_set = self.set_of(addr)
+        cache_set = self.sets[addr & self._set_mask]
         stats = self.stats
-        way = cache_set.find(addr)
+        way = cache_set.way_of.get(addr)
         if way is not None:
             if dirty:
                 cache_set.dirty[way] = True
-                cache_set.touch(way)
                 self._charge_write(cache_set, way, cache_set.ecb[way])
                 stats.updates_in_place += 1
             else:
-                cache_set.touch(way)
                 stats.silent_drops += 1
+            recency = cache_set.recency
+            if recency[-1] != way:
+                recency.remove(way)
+                recency.append(way)
             return
 
-        meta = meta_table.get(addr)
+        meta = meta_table._table.get(addr)
         reuse = meta.reuse if meta is not None else ReuseClass.NONE
-        csize, ecb = self.sizes_of(addr)
+        if self._compressed and self._size_fn is not None:
+            csize, ecb = self._size_fn(addr)
+        else:
+            csize = ecb = self.block_size
         ctx = FillContext(addr, dirty, csize, ecb, reuse, cache_set.index)
         stats.fills += 1
         self._insert(cache_set, ctx, migrating=False)
@@ -203,28 +262,134 @@ class HybridLLC:
         migrating: bool,
         parts: Optional[Tuple[int, ...]] = None,
     ) -> bool:
-        """Generic insertion: try parts in order, evict, write, account."""
+        """Generic insertion: try parts in order, evict, write, account.
+
+        Runs once per LLC fill; the invalid-way scan (the common case)
+        and the victim-eviction/insert bookkeeping are inlined here
+        rather than routed through :func:`usable_invalid_way` /
+        :meth:`CacheSet.evict` / :meth:`CacheSet.insert`.  Policy
+        decisions (``placement`` / ``choose_victim`` / migration) stay
+        virtual calls — they are the policies' interface.
+        """
         stats = self.stats
         if parts is None:
-            parts = self.policy.placement(cache_set, ctx)
+            parts = self._static_placement
+            if parts is None:
+                parts = self.policy.placement(cache_set, ctx)
+        ecb = ctx.ecb
+        tags = cache_set.tags
+        sram_ways = cache_set.sram_ways
+        total_ways = cache_set.total_ways
+        sram_fits = self.block_size >= ecb
         for part in parts:
-            way = self._slot_for(cache_set, part, ctx)
+            # Slot: first usable invalid frame of the part, else a
+            # policy-chosen victim (same order as the part arguments).
+            # The free-frame counters skip the scans outright for full
+            # sets — the steady-state common case.
+            way = None
+            if part != NVM and sram_fits and cache_set.free_sram:
+                for w in range(sram_ways):
+                    if tags[w] is None:
+                        way = w
+                        break
+            if way is None and part != SRAM and cache_set.free_nvm:
+                row = self.faultmap.rows[cache_set.index]
+                for w in range(sram_ways, total_ways):
+                    if tags[w] is None and row[w - sram_ways] >= ecb:
+                        way = w
+                        break
             if way is None:
-                continue
-            if cache_set.tags[way] is not None:
-                victim_part = cache_set.part_of(way)
-                addr, v_dirty, v_csize, v_reuse = cache_set.evict(way)
+                if self._default_victim:
+                    # Inlined InsertionPolicy.choose_victim: (fit-)LRU
+                    # over the recency order, restricted to the part.
+                    recency = cache_set.recency
+                    if part == SRAM:
+                        for w in recency:
+                            if w < sram_ways:
+                                way = w
+                                break
+                    elif part == GLOBAL:
+                        block_size = self.block_size
+                        row = self.faultmap.rows[cache_set.index]
+                        for w in recency:
+                            cap = (
+                                block_size if w < sram_ways
+                                else row[w - sram_ways]
+                            )
+                            if cap >= ecb:
+                                way = w
+                                break
+                    else:
+                        row = self.faultmap.rows[cache_set.index]
+                        for w in recency:
+                            if w >= sram_ways and row[w - sram_ways] >= ecb:
+                                way = w
+                                break
+                else:
+                    way = self.policy.choose_victim(cache_set, part, ctx)
+                if way is None:
+                    continue
+            v_addr = tags[way]
+            if v_addr is not None:
+                # Inlined CacheSet.evict + victim retirement.  The
+                # EvictedBlock record (and the _retire hop) is only
+                # materialised when an SRAM-eviction handler might
+                # consume the victim — the migrating policies.
+                dirty_l = cache_set.dirty
+                v_dirty = dirty_l[way]
+                v_in_sram = way < sram_ways
+                handler = self._handle_sram_eviction
+                if v_in_sram and not migrating and handler is not None:
+                    victim = EvictedBlock(
+                        v_addr, v_dirty, cache_set.csize[way],
+                        cache_set.reuse[way], SRAM,
+                    )
+                else:
+                    victim = None
+                tags[way] = None
+                dirty_l[way] = False
+                cache_set.csize[way] = 0
+                cache_set.ecb[way] = 0
+                cache_set.reuse[way] = ReuseClass.NONE
+                cache_set.recency.remove(way)
+                del cache_set.way_of[v_addr]
+                if v_in_sram:
+                    cache_set.free_sram += 1
+                else:
+                    cache_set.free_nvm += 1
                 stats.evictions += 1
-                self._retire(
-                    cache_set,
-                    EvictedBlock(addr, v_dirty, v_csize, v_reuse, victim_part),
-                    migrating,
-                )
-            cache_set.insert(way, ctx.addr, ctx.dirty, ctx.csize, ctx.ecb, ctx.reuse)
-            self._charge_write(cache_set, way, ctx.ecb)
-            if cache_set.part_of(way) == SRAM:
+                if victim is None or not handler(cache_set, victim):
+                    # Inlined _to_memory.
+                    if v_dirty:
+                        stats.writebacks_to_memory += 1
+                    cb = self.on_block_to_memory
+                    if cb is not None:
+                        cb(v_addr)
+            # Inlined CacheSet.insert (the way is known to be empty).
+            tags[way] = ctx.addr
+            cache_set.dirty[way] = ctx.dirty
+            cache_set.csize[way] = ctx.csize
+            cache_set.ecb[way] = ecb
+            cache_set.reuse[way] = ctx.reuse
+            cache_set.recency.append(way)
+            cache_set.way_of[ctx.addr] = way
+            # Inlined _charge_write + fill-side counters.
+            if way < sram_ways:
+                cache_set.free_sram -= 1
+                stats.sram_writes += 1
                 stats.fills_sram += 1
             else:
+                cache_set.free_nvm -= 1
+                # Inlined WearTracker.record_write.
+                set_index = cache_set.index
+                nvm_way = way - sram_ways
+                wear = self.wear
+                wear._bytes_rows[set_index][nvm_way] += ecb
+                wear._writes_rows[set_index][nvm_way] += 1
+                stats.nvm_writes += 1
+                stats.nvm_bytes_written += ecb
+                if self._on_nvm_write is not None:
+                    self._on_nvm_write(set_index, ecb)
                 stats.fills_nvm += 1
             if migrating:
                 stats.migrations_to_nvm += 1
@@ -242,6 +407,8 @@ class HybridLLC:
     def _slot_for(
         self, cache_set: CacheSet, part: int, ctx: FillContext
     ) -> Optional[int]:
+        """Reference slot selection (kept for tests/inspection; the hot
+        path in :meth:`_insert` inlines the same logic)."""
         if part == GLOBAL:
             for p in (SRAM, NVM):
                 way = usable_invalid_way(cache_set, p, ctx.ecb, self.capacity_of)
@@ -257,12 +424,10 @@ class HybridLLC:
         self, cache_set: CacheSet, victim: EvictedBlock, migrating: bool
     ) -> None:
         """Dispose of a replacement victim: migrate or send to memory."""
-        if (
-            victim.part == SRAM
-            and not migrating
-            and self.policy.handle_sram_eviction(cache_set, victim)
-        ):
-            return
+        if victim.part == SRAM and not migrating:
+            handler = self._handle_sram_eviction
+            if handler is not None and handler(cache_set, victim):
+                return
         self._to_memory(victim.addr, victim.dirty)
 
     def _to_memory(self, addr: int, dirty: bool) -> None:
@@ -294,7 +459,8 @@ class HybridLLC:
         self.wear.record_write(cache_set.index, nvm_way, n_bytes)
         stats.nvm_writes += 1
         stats.nvm_bytes_written += n_bytes
-        self.policy.on_nvm_write(cache_set.index, n_bytes)
+        if self._on_nvm_write is not None:
+            self._on_nvm_write(cache_set.index, n_bytes)
 
     # ------------------------------------------------------------------
     def end_epoch(self) -> None:

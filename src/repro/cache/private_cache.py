@@ -6,6 +6,14 @@ per-set storage is a plain dict from block address to dirty flag —
 Python dicts preserve insertion order, so the first key is the LRU
 entry and re-inserting a key on every hit maintains recency with O(1)
 operations.
+
+Hot-path note: set indexing (``self._sets[addr & self._set_mask]``) is
+inlined into every method rather than factored through a helper — the
+helper alone accounted for ~3.1M calls per short simulation — and
+:class:`~repro.cache.hierarchy.MemoryHierarchy` inlines the L1/L2
+lookup bodies into its access fast path the same way.  ``_sets`` and
+``_set_mask`` are therefore a stable internal interface for the
+hierarchy, not an implementation accident.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ Victim = Tuple[int, bool]  # (block address, dirty)
 class PrivateCache:
     """One private cache level, addressed by block address."""
 
+    __slots__ = ("geometry", "n_sets", "ways", "_set_mask", "_sets", "hits", "misses")
+
     def __init__(self, geometry: CacheGeometry) -> None:
         self.geometry = geometry
         self.n_sets = geometry.n_sets
@@ -28,9 +38,6 @@ class PrivateCache:
         self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.n_sets)]
         self.hits = 0
         self.misses = 0
-
-    def _set_for(self, addr: int) -> Dict[int, bool]:
-        return self._sets[addr & self._set_mask]
 
     # lookup() return codes
     MISS = 0
@@ -45,7 +52,7 @@ class PrivateCache:
         the hierarchy that write permission must be acquired from the
         directory (the line was clean before this store).
         """
-        entries = self._set_for(addr)
+        entries = self._sets[addr & self._set_mask]
         if addr in entries:
             was_dirty = entries.pop(addr)
             entries[addr] = was_dirty or is_write
@@ -58,7 +65,7 @@ class PrivateCache:
 
     def fill(self, addr: int, dirty: bool) -> Optional[Victim]:
         """Insert a block, returning the evicted victim if the set spilled."""
-        entries = self._set_for(addr)
+        entries = self._sets[addr & self._set_mask]
         if addr in entries:
             # Refresh an existing copy (e.g. writeback from an inner level).
             entries[addr] = entries.pop(addr) or dirty
@@ -71,19 +78,19 @@ class PrivateCache:
         return victim
 
     def set_dirty(self, addr: int) -> None:
-        entries = self._set_for(addr)
+        entries = self._sets[addr & self._set_mask]
         if addr in entries:
             entries[addr] = True
 
     def contains(self, addr: int) -> bool:
-        return addr in self._set_for(addr)
+        return addr in self._sets[addr & self._set_mask]
 
     def is_dirty(self, addr: int) -> bool:
-        return self._set_for(addr).get(addr, False)
+        return self._sets[addr & self._set_mask].get(addr, False)
 
     def invalidate(self, addr: int) -> Tuple[bool, bool]:
         """Remove a block; returns (was_present, was_dirty)."""
-        entries = self._set_for(addr)
+        entries = self._sets[addr & self._set_mask]
         if addr in entries:
             return True, entries.pop(addr)
         return False, False

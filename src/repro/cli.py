@@ -8,6 +8,7 @@ Commands
 ``figure``    — regenerate one of the paper's tables/figures
 ``ablation``  — run one of the design-choice ablations
 ``campaign``  — fault-tolerant multi-experiment run with resume
+``bench``     — engine speed benchmark with baseline regression gate
 
 Unknown mix/policy/scale/experiment names exit with code 2 and a
 one-line "did you mean" suggestion instead of a traceback.
@@ -121,10 +122,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     workload = scale.workload(args.mix, seed=args.seed)
     sim = Simulation(config, policy, workload)
     epoch = config.dueling.epoch_cycles
-    result = sim.run(
-        cycles=epoch * (args.warmup_epochs + args.epochs),
-        warmup_cycles=epoch * args.warmup_epochs,
-    )
+    cycles = epoch * (args.warmup_epochs + args.epochs)
+    warmup = epoch * args.warmup_epochs
+    if args.profile:
+        import cProfile
+        from pathlib import Path
+
+        out = Path(args.profile)
+        out.mkdir(parents=True, exist_ok=True)
+        profiler = cProfile.Profile()
+        result = profiler.runcall(sim.run, cycles=cycles, warmup_cycles=warmup)
+        pstats_path = out / f"simulate_{args.mix}_{name}.pstats"
+        profiler.dump_stats(pstats_path)
+        print(f"profile: {pstats_path}")
+    else:
+        result = sim.run(cycles=cycles, warmup_cycles=warmup)
     llc = result.stats.llc
     rows = [
         {"metric": "mean IPC", "value": result.mean_ipc},
@@ -251,6 +263,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         retries=args.retries,
         backoff_base=args.backoff,
         chaos=chaos,
+        profile_dir=args.profile,
     )
 
     if args.resume:
@@ -265,6 +278,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         experiments = [e.strip() for e in args.experiments.split(",") if e.strip()]
         for name in experiments:
             _check_choice("experiment", name, EXPERIMENT_NAMES)
+
+    # Workers inherit the environment, so pointing the trace cache at
+    # the campaign directory lets every task share materialized traces.
+    import os
+    from pathlib import Path
+
+    from .workloads.cache import TRACE_CACHE_ENV
+
+    os.environ.setdefault(TRACE_CACHE_ENV, str(Path(directory) / "trace_cache"))
 
     try:
         runner = CampaignRunner(
@@ -292,6 +314,53 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        BenchMatrix,
+        compare_benches,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    scale = _resolve_scale(args.scale)
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    for name in policies:
+        _check_choice("policy", name, registered_policies())
+    mixes = tuple(m.strip() for m in args.mixes.split(",") if m.strip())
+    for name in mixes:
+        _check_choice("mix", name, MIX_NAMES)
+    matrix = BenchMatrix(
+        policies=policies,
+        mixes=mixes,
+        epochs=args.epochs,
+        warmup_epochs=args.warmup_epochs,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    document = run_bench(
+        scale, matrix=matrix, label=args.label, progress=print
+    )
+    path = write_bench(document, args.out)
+    print(f"wrote {path}")
+    print(
+        f"geomean {document['geomean_mcycles_per_s']:.3f} Mcycles/s "
+        f"over {len(document['cases'])} cases"
+    )
+
+    if args.baseline is None:
+        return 0
+    comparison = compare_benches(
+        document, load_bench(args.baseline), threshold=args.threshold
+    )
+    for case in comparison.cases:
+        print(f"  {case.policy:10s} {case.mix:6s} {case.ratio:5.2f}x")
+    for missing in comparison.missing_cases:
+        print(f"  {missing}: not in baseline")
+    print(comparison.summary())
+    return 0 if comparison.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +381,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=float, default=4.0)
     p.add_argument("--warmup-epochs", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", default=None, metavar="DIR",
+                   help="dump a cProfile .pstats of the run into DIR")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("forecast", help="lifetime forecast for policies")
@@ -353,7 +424,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="chaos injection seed")
     p.add_argument("--chaos", default=None, metavar="SPEC",
                    help="inject faults, e.g. p=0.3,kinds=crash,timeout,corrupt")
+    p.add_argument("--profile", default=None, metavar="DIR",
+                   help="each worker dumps DIR/<task_id>.pstats")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "bench", help="benchmark engine speed, optionally gate on a baseline"
+    )
+    p.add_argument("--scale", default=argparse.SUPPRESS,
+                   help="smoke | default | full | paper (default: env)")
+    p.add_argument("--label", default="engine",
+                   help="artefact name: BENCH_<label>.json")
+    p.add_argument("--policies", default=",".join(
+        ("bh", "bh_cp", "lhybrid", "tap", "ca", "ca_rwr", "cp_sd")),
+        help="comma-separated policy names")
+    p.add_argument("--mixes", default="mix1,mix4",
+                   help="comma-separated mix names")
+    p.add_argument("--epochs", type=float, default=2.0)
+    p.add_argument("--warmup-epochs", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--repeats", type=int, default=1,
+                   help="timing repeats per case (best-of is reported)")
+    p.add_argument("--out", default="benchmarks/results", metavar="DIR",
+                   help="directory for BENCH_<label>.json")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="BENCH_*.json to diff against; regression exits 1")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="allowed geomean ratio band around 1.0")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 
@@ -363,7 +461,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "func", None) is cmd_campaign and args.jobs is None:
         import os
 
-        args.jobs = max(1, min(4, os.cpu_count() or 1))
+        # No hidden clamp: default to every core (the old min(4, ...)
+        # silently serialised campaigns on wide machines).
+        args.jobs = max(1, os.cpu_count() or 1)
     try:
         return args.func(args)
     except UsageError as exc:

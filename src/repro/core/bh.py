@@ -15,6 +15,8 @@ from typing import Tuple
 from ..cache.cacheset import CacheSet
 from .policy import GLOBAL, FillContext, InsertionPolicy, register_policy
 
+_GLOBAL_ONLY = (GLOBAL,)
+
 
 @register_policy("bh")
 class BHPolicy(InsertionPolicy):
@@ -24,6 +26,7 @@ class BHPolicy(InsertionPolicy):
     granularity = "frame"
     compressed = False
     nvm_aware = False
+    static_placement = _GLOBAL_ONLY
 
     def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
-        return (GLOBAL,)
+        return _GLOBAL_ONLY

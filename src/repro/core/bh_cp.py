@@ -14,6 +14,8 @@ from typing import Tuple
 from ..cache.cacheset import CacheSet
 from .policy import GLOBAL, FillContext, InsertionPolicy, register_policy
 
+_GLOBAL_ONLY = (GLOBAL,)
+
 
 @register_policy("bh_cp")
 class BHCPPolicy(InsertionPolicy):
@@ -23,6 +25,7 @@ class BHCPPolicy(InsertionPolicy):
     granularity = "byte"
     compressed = True
     nvm_aware = False
+    static_placement = _GLOBAL_ONLY
 
     def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
-        return (GLOBAL,)
+        return _GLOBAL_ONLY

@@ -18,6 +18,9 @@ from typing import Tuple
 from ..cache.cacheset import NVM, SRAM, CacheSet
 from .policy import FillContext, InsertionPolicy, register_policy
 
+_NVM_FIRST = (NVM, SRAM)
+_SRAM_ONLY = (SRAM,)
+
 
 @register_policy("ca")
 class CAPolicy(InsertionPolicy):
@@ -42,5 +45,5 @@ class CAPolicy(InsertionPolicy):
 
     def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
         if ctx.csize <= self.cpth_for_set(ctx.set_index):
-            return (NVM, SRAM)
-        return (SRAM,)
+            return _NVM_FIRST
+        return _SRAM_ONLY

@@ -28,6 +28,9 @@ from ..cache.llc import EvictedBlock
 from .ca import CAPolicy
 from .policy import FillContext, register_policy
 
+_NVM_FIRST = (NVM, SRAM)
+_SRAM_ONLY = (SRAM,)
+
 
 @register_policy("ca_rwr")
 class CARWRPolicy(CAPolicy):
@@ -45,13 +48,14 @@ class CARWRPolicy(CAPolicy):
         self.migrate_on_eviction = migrate_on_eviction
 
     def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
-        if ctx.reuse is ReuseClass.READ:
-            return (NVM, SRAM)
-        if ctx.reuse is ReuseClass.WRITE:
-            return (SRAM,)
+        reuse = ctx.reuse
+        if reuse is ReuseClass.READ:
+            return _NVM_FIRST
+        if reuse is ReuseClass.WRITE:
+            return _SRAM_ONLY
         if ctx.csize <= self.cpth_for_set(ctx.set_index):
-            return (NVM, SRAM)
-        return (SRAM,)
+            return _NVM_FIRST
+        return _SRAM_ONLY
 
     def handle_sram_eviction(
         self, cache_set: CacheSet, victim: EvictedBlock

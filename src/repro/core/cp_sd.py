@@ -11,13 +11,17 @@ capacity decays).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
-from ..cache.cacheset import CacheSet
+from ..cache.block import ReuseClass
+from ..cache.cacheset import NVM, SRAM, CacheSet
 from ..config import SetDuelingConfig
 from .ca_rwr import CARWRPolicy
-from .policy import register_policy
+from .policy import FillContext, register_policy
 from .set_dueling import DuelingController, ElectionRule, MaxHitsRule
+
+_NVM_FIRST = (NVM, SRAM)
+_SRAM_ONLY = (SRAM,)
 
 
 @register_policy("cp_sd")
@@ -51,13 +55,35 @@ class CPSDPolicy(CARWRPolicy):
         assert self.controller is not None
         return self.controller.current_winner
 
+    # The placement / hit / write hooks fire once per LLC fill, hit and
+    # NVM write respectively; they inline the controller's lookups
+    # (leader-slot table, winner threshold) instead of chaining through
+    # DuelingController method calls.
+    def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
+        reuse = ctx.reuse
+        if reuse is ReuseClass.READ:
+            return _NVM_FIRST
+        if reuse is ReuseClass.WRITE:
+            return _SRAM_ONLY
+        controller = self.controller
+        slot = controller._slot_of_set[ctx.set_index]
+        candidates = controller.candidates
+        cpth = candidates[slot] if slot >= 0 else candidates[controller.winner_index]
+        if ctx.csize <= cpth:
+            return _NVM_FIRST
+        return _SRAM_ONLY
+
     def on_hit(self, cache_set: CacheSet, way: int, is_getx: bool) -> None:
-        assert self.controller is not None
-        self.controller.record_hit(cache_set.index)
+        controller = self.controller
+        slot = controller._slot_of_set[cache_set.index]
+        if slot >= 0:
+            controller.hits[slot] += 1
 
     def on_nvm_write(self, set_index: int, n_bytes: int) -> None:
-        assert self.controller is not None
-        self.controller.record_nvm_write(set_index, n_bytes)
+        controller = self.controller
+        slot = controller._slot_of_set[set_index]
+        if slot >= 0:
+            controller.writes[slot] += n_bytes
 
     def end_epoch(self) -> None:
         assert self.controller is not None

@@ -23,8 +23,10 @@ from typing import Optional, Tuple
 from ..cache.block import ReuseClass
 from ..cache.cacheset import NVM, SRAM, CacheSet
 from ..cache.llc import EvictedBlock
-from ..cache.replacement import lru_victim, mru_victim_where
 from .policy import FillContext, InsertionPolicy, register_policy
+
+_NVM_FIRST = (NVM, SRAM)
+_SRAM_ONLY = (SRAM,)
 
 
 @register_policy("lhybrid")
@@ -38,21 +40,25 @@ class LHybridPolicy(InsertionPolicy):
 
     def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
         if ctx.reuse is ReuseClass.READ:  # loop-block
-            return (NVM, SRAM)
-        return (SRAM,)
+            return _NVM_FIRST
+        return _SRAM_ONLY
 
     def choose_victim(
         self, cache_set: CacheSet, part: int, ctx: FillContext
     ) -> Optional[int]:
         if part == SRAM:
-            lb_way = mru_victim_where(
-                cache_set,
-                cache_set.ways_of_part(SRAM),
-                lambda w: cache_set.reuse[w] is ReuseClass.READ,
-            )
-            if lb_way is not None:
-                return lb_way
-            return lru_victim(cache_set, cache_set.ways_of_part(SRAM))
+            # Most recent LB in SRAM (migration candidate), else SRAM LRU;
+            # inlined mru_victim_where/lru_victim, once per replacement.
+            sram_ways = cache_set.sram_ways
+            recency = cache_set.recency
+            reuse = cache_set.reuse
+            for way in reversed(recency):
+                if way < sram_ways and reuse[way] is ReuseClass.READ:
+                    return way
+            for way in recency:
+                if way < sram_ways:
+                    return way
+            return None
         return super().choose_victim(cache_set, part, ctx)
 
     def handle_sram_eviction(

@@ -19,12 +19,10 @@ whether they compress, and whether they are NVM-aware.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, NamedTuple, Optional, Tuple
 
 from ..cache.block import ReuseClass
 from ..cache.cacheset import NVM, SRAM, CacheSet
-from ..cache.replacement import fit_lru_victim, lru_victim
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cache.llc import EvictedBlock, HybridLLC
@@ -34,9 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover
 GLOBAL = 2
 
 
-@dataclass(frozen=True)
-class FillContext:
-    """Everything a policy may inspect when placing an incoming block."""
+class FillContext(NamedTuple):
+    """Everything a policy may inspect when placing an incoming block.
+
+    A NamedTuple rather than a frozen dataclass: one is built per LLC
+    fill, and frozen-dataclass construction (object.__setattr__ per
+    field) is an order of magnitude slower than tuple construction.
+    """
 
     addr: int
     dirty: bool
@@ -54,6 +56,11 @@ class InsertionPolicy(abc.ABC):
     granularity: str = "byte"      # "byte" or "frame"
     compressed: bool = True
     nvm_aware: bool = True
+    #: If a policy's ``placement`` returns the same tuple for every
+    #: fill, it can declare that tuple here and the LLC skips the
+    #: placement call on its fill fast path.  ``placement`` must still
+    #: be implemented (and agree) — it stays the canonical interface.
+    static_placement: Optional[Tuple[int, ...]] = None
 
     def __init__(self) -> None:
         self.llc: Optional["HybridLLC"] = None
@@ -71,16 +78,33 @@ class InsertionPolicy(abc.ABC):
     def choose_victim(
         self, cache_set: CacheSet, part: int, ctx: FillContext
     ) -> Optional[int]:
-        """Victim way within ``part`` able to hold the incoming block."""
+        """Victim way within ``part`` able to hold the incoming block.
+
+        (Fit-)LRU inlined over the recency list: this runs once per
+        replacement, and the generic helpers' per-way ``capacity_of``
+        callbacks dominated the NVM-unaware baselines' runtime.
+        """
         assert self.llc is not None
-        capacity_of = self.llc.capacity_of
-        if part == GLOBAL:
-            ways = range(cache_set.total_ways)
-        else:
-            ways = cache_set.ways_of_part(part)
+        sram_ways = cache_set.sram_ways
+        recency = cache_set.recency
         if part == SRAM:
-            return lru_victim(cache_set, ways)
-        return fit_lru_victim(cache_set, ways, ctx.ecb, capacity_of)
+            for way in recency:          # LRU-first order
+                if way < sram_ways:
+                    return way
+            return None
+        ecb = ctx.ecb
+        row = self.llc.faultmap.rows[cache_set.index]
+        if part == GLOBAL:
+            block_size = self.llc.block_size
+            for way in recency:
+                cap = block_size if way < sram_ways else row[way - sram_ways]
+                if cap >= ecb:
+                    return way
+            return None
+        for way in recency:              # NVM part: fit-LRU
+            if way >= sram_ways and row[way - sram_ways] >= ecb:
+                return way
+        return None
 
     def handle_sram_eviction(
         self, cache_set: CacheSet, victim: "EvictedBlock"

@@ -21,6 +21,9 @@ from typing import Dict, Tuple
 from ..cache.cacheset import NVM, SRAM, CacheSet
 from .policy import FillContext, InsertionPolicy, register_policy
 
+_NVM_FIRST = (NVM, SRAM)
+_SRAM_ONLY = (SRAM,)
+
 _COUNTER_MAX = 15
 
 
@@ -83,6 +86,6 @@ class TAPPolicy(InsertionPolicy):
         self._hit_counts = decayed
 
     def placement(self, cache_set: CacheSet, ctx: FillContext) -> Tuple[int, ...]:
-        if not ctx.dirty and self.is_thrashing(ctx.addr):
-            return (NVM, SRAM)
-        return (SRAM,)
+        if not ctx.dirty and self._hit_counts.get(ctx.addr, 0) > self.hit_threshold:
+            return _NVM_FIRST
+        return _SRAM_ONLY

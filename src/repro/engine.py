@@ -15,6 +15,7 @@ what makes the paper's normalised comparisons meaningful.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
@@ -24,11 +25,11 @@ from .cache.stats import HierarchyStats
 from .config import SystemConfig
 from .core.policy import InsertionPolicy
 from .timing.core_model import AnalyticalCore
+from .workloads.cache import load_or_materialize
 from .workloads.data import DataModel
-from .workloads.generator import AppTraceGenerator
 from .workloads.mixes import mix_profiles
 from .workloads.profiles import AppProfile
-from .workloads.trace import MaterializedTrace, TraceRecord, materialize
+from .workloads.trace import MaterializedTrace, TraceRecord
 
 
 class Workload:
@@ -46,9 +47,14 @@ class Workload:
         self.seed = seed
         self.data_model = DataModel(self.profiles, seed=seed)
         self.traces: List[MaterializedTrace] = [
-            materialize(AppTraceGenerator(prof, core, seed=seed), trace_records_per_core)
+            load_or_materialize(prof, core, seed, trace_records_per_core)
             for core, prof in enumerate(self.profiles)
         ]
+        # Every address a replay can touch is known now; warm the data
+        # model's size memo here so no simulation pays the (per-address
+        # PRNG-seeding) cost of a first-touch draw mid-run.
+        for trace in self.traces:
+            self.data_model.prefetch_sizes(trace.addrs)
 
     @classmethod
     def from_mix(
@@ -131,7 +137,12 @@ class Simulation:
             AnalyticalCore(i, config.cores, config.latency)
             for i in range(config.cores.n_cores)
         ]
-        self._players = workload.players()
+        # Cursor-based replay state: per-core (gaps, addrs, writes)
+        # columns plus a wrapping cursor.  Cursors persist across run()
+        # calls so simulations stay resumable (the forecaster re-enters
+        # run() to age the NVM in place).
+        self._columns = [trace.replay_columns() for trace in workload.traces]
+        self._cursors = [0] * workload.n_cores
         self._next_epoch = float(config.dueling.epoch_cycles)
         self._epoch_index = 0
 
@@ -155,7 +166,6 @@ class Simulation:
             raise ValueError("cycles must exceed warmup_cycles")
         hierarchy = self.hierarchy
         cores = self.cores
-        players = self._players
         epoch_cycles = self.config.dueling.epoch_cycles
         epochs: List[EpochRecord] = []
         epoch_snap = hierarchy.stats.llc.snapshot()
@@ -176,56 +186,90 @@ class Simulation:
         # operation per access for no modelling benefit (the mixes share
         # no data), while bursts keep cores within ~a thousand cycles of
         # each other — far finer than the 2M-cycle epoch granularity.
+        #
+        # The burst body is the simulator's innermost loop.  It indexes
+        # the trace columns directly and inlines AnalyticalCore.account
+        # (same two float additions, so timing is bit-identical) to
+        # avoid per-record generator resumption and method dispatch.
         burst = 64
-        access = hierarchy.access
+        access_level = hierarchy.access_level
+        columns = self._columns
+        cursors = self._cursors
         heap = [(core.cycles, core_id) for core_id, core in enumerate(cores)]
         heapq.heapify(heap)
-        while heap:
-            now, core_id = heapq.heappop(heap)
-            if not warmed and now >= warmup_cycles:
-                hierarchy.reset_stats()
-                epoch_snap = hierarchy.stats.llc.snapshot()
-                for i, core in enumerate(cores):
-                    base_instr[i] = core.instructions
-                    base_cycles[i] = core.cycles
-                warmed = True
-            while now >= next_epoch:
-                llc_stats = hierarchy.stats.llc
-                delta = llc_stats.delta_since(epoch_snap)
-                winner = self.policy.current_cpth()  # CP_th used this epoch
-                hierarchy.end_epoch()
-                if record_epochs:
-                    epochs.append(
-                        EpochRecord(
-                            index=epoch_index,
-                            end_cycle=next_epoch,
-                            hits=delta["gets_hits"] + delta["getx_hits"],
-                            nvm_bytes_written=delta["nvm_bytes_written"],
-                            winner_cpth=winner,
-                            after_warmup=warmed and next_epoch > warmup_cycles,
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        # The loop allocates short-lived acyclic objects (heap tuples,
+        # fill contexts) at a rate that keeps the cyclic GC's gen-0
+        # scanning busy for nothing — refcounting already frees them.
+        # Pause collection for the duration of the loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap:
+                now, core_id = heappop(heap)
+                if not warmed and now >= warmup_cycles:
+                    hierarchy.reset_stats()
+                    epoch_snap = hierarchy.stats.llc.snapshot()
+                    for i, core in enumerate(cores):
+                        base_instr[i] = core.instructions
+                        base_cycles[i] = core.cycles
+                    warmed = True
+                while now >= next_epoch:
+                    llc_stats = hierarchy.stats.llc
+                    delta = llc_stats.delta_since(epoch_snap)
+                    winner = self.policy.current_cpth()  # CP_th this epoch
+                    hierarchy.end_epoch()
+                    if record_epochs:
+                        epochs.append(
+                            EpochRecord(
+                                index=epoch_index,
+                                end_cycle=next_epoch,
+                                hits=delta["gets_hits"] + delta["getx_hits"],
+                                nvm_bytes_written=delta["nvm_bytes_written"],
+                                winner_cpth=winner,
+                                after_warmup=warmed and next_epoch > warmup_cycles,
+                            )
                         )
-                    )
-                epoch_snap = llc_stats.snapshot()
-                epoch_index += 1
-                next_epoch += epoch_cycles
-            if now >= cycles:
-                continue  # this core is done; drain the rest
-            # Burst: stop early at the next epoch/warmup/end boundary so
-            # boundary processing stays accurate.
-            stop_at = min(cycles, next_epoch)
-            if not warmed:
-                stop_at = min(stop_at, warmup_cycles)
-            core = cores[core_id]
-            player = players[core_id]
-            account = core.account
-            new_time = now
-            for _ in range(burst):
-                gap, addr, is_write = next(player)
-                outcome = access(core_id, addr, is_write)
-                new_time = account(gap, outcome.level)
-                if new_time >= stop_at:
-                    break
-            heapq.heappush(heap, (new_time, core_id))
+                    epoch_snap = llc_stats.snapshot()
+                    epoch_index += 1
+                    next_epoch += epoch_cycles
+                if now >= cycles:
+                    continue  # this core is done; drain the rest
+                # Burst: stop early at the next epoch/warmup/end boundary
+                # so boundary processing stays accurate.
+                stop_at = min(cycles, next_epoch)
+                if not warmed:
+                    stop_at = min(stop_at, warmup_cycles)
+                core = cores[core_id]
+                gaps, addrs, writes = columns[core_id]
+                n_records = len(addrs)
+                cursor = cursors[core_id]
+                base_cpi = core.base_cpi
+                penalty = core._penalty
+                instructions = core.instructions
+                new_time = core.cycles
+                for _ in range(burst):
+                    gap = gaps[cursor]
+                    addr = addrs[cursor]
+                    is_write = writes[cursor]
+                    cursor += 1
+                    if cursor == n_records:
+                        cursor = 0
+                    level = access_level(core_id, addr, is_write)
+                    instructions += gap + 1
+                    new_time += gap * base_cpi + base_cpi
+                    new_time += penalty[level]
+                    if new_time >= stop_at:
+                        break
+                cursors[core_id] = cursor
+                core.instructions = instructions
+                core.cycles = new_time
+                heappush(heap, (new_time, core_id))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         self._next_epoch = next_epoch
         self._epoch_index = epoch_index

@@ -27,6 +27,7 @@ from ..config import (
     SystemConfig,
 )
 from ..engine import Workload
+from ..workloads.cache import SHARED_WORKLOAD_CACHE
 from ..workloads.mixes import MIX_NAMES, mix_profiles
 
 #: Full-size (paper) reference dimensions.
@@ -99,10 +100,17 @@ class ExperimentScale:
         return cfg
 
     def workload(self, mix_name: str, seed: int = 0) -> Workload:
-        """Build a mix's workload with footprints scaled to match."""
+        """Build a mix's workload with footprints scaled to match.
+
+        Routed through the process-wide :class:`WorkloadCache`: sweeps
+        that revisit the same (mix, seed, scale) share one built
+        workload instead of regenerating identical traces per policy.
+        """
         profiles = [p.scaled(self.factor) for p in mix_profiles(mix_name)]
-        return Workload(
-            profiles, seed=seed, trace_records_per_core=self.trace_records_per_core
+        records = self.trace_records_per_core
+        return SHARED_WORKLOAD_CACHE.get(
+            profiles, seed, records,
+            lambda: Workload(profiles, seed=seed, trace_records_per_core=records),
         )
 
 

@@ -59,13 +59,19 @@ def _default_start_method() -> str:
 class CampaignSettings:
     """Tunables of one campaign invocation (not persisted)."""
 
-    jobs: int = max(1, min(4, os.cpu_count() or 1))
+    #: Default to every core: the old ``min(4, cpu_count)`` silently
+    #: capped wide machines at 4 workers.  The effective value is
+    #: echoed in the campaign banner so the parallelism is visible.
+    jobs: int = max(1, os.cpu_count() or 1)
     task_timeout: float = 600.0
     retries: int = 3
     backoff_base: float = 1.0
     backoff_cap: float = 30.0
     start_method: Optional[str] = None
     chaos: Optional[ChaosConfig] = None
+    #: When set, every worker profiles its task attempt with cProfile
+    #: and dumps ``<profile_dir>/<task_id>.pstats``.
+    profile_dir: Optional[str] = None
 
 
 @dataclass
@@ -172,6 +178,7 @@ class CampaignRunner:
             attempt=attempt,
             chaos=self.settings.chaos,
             hang_seconds=self.settings.task_timeout * 4 + 60.0,
+            profile_dir=self.settings.profile_dir,
         )
         process = self._ctx.Process(
             target=worker_entry, args=(payload,), daemon=True
@@ -314,6 +321,10 @@ class CampaignRunner:
             entry = self.manifest.entry(task.task_id)
             queue.append(_TaskState(task=task, attempts=entry.attempts))
         self.manifest.save()
+        self.progress(
+            f"campaign: {len(tasks)} tasks, jobs={self.settings.jobs} "
+            f"(cpu_count={os.cpu_count() or 1})"
+        )
         if report.skipped:
             self.progress(f"resume: skipping {report.skipped} verified tasks")
 

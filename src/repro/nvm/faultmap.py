@@ -12,11 +12,18 @@ Two disabling granularities are supported (Table III):
   usable for compressed blocks (BH_CP, CP_SD*).
 * ``frame`` — the first fault disables the whole frame (BH, LHybrid,
   TAP, following [7], [46]).
+
+Hot-path note: the authoritative storage is the numpy ``capacities``
+array (bulk aging updates, vectorised queries), but scalar indexing
+into a numpy array boxes a fresh ``np.int16`` per call — measurably
+slow at one lookup per LLC insertion attempt.  ``rows`` mirrors the
+array as a plain list of per-set lists of Python ints and is kept in
+sync by every mutator; the LLC replacement loop reads only ``rows``.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +55,9 @@ class FaultMap:
         self.block_size = block_size
         self.granularity = granularity
         self.capacities = np.full((n_sets, nvm_ways), block_size, dtype=np.int16)
+        self.rows: List[List[int]] = [
+            [block_size] * nvm_ways for _ in range(n_sets)
+        ]
 
     # ------------------------------------------------------------------
     # queries
@@ -94,6 +104,7 @@ class FaultMap:
         if self.granularity == "frame" and 0 < capacity < self.block_size:
             capacity = 0  # any fault kills a frame-disabled frame
         self.capacities[set_index, nvm_way] = capacity
+        self.rows[set_index][nvm_way] = capacity
 
     def kill_bytes(self, set_index: int, nvm_way: int, n_bytes: int = 1) -> int:
         """Retire ``n_bytes`` of a frame; returns the new capacity."""
@@ -104,6 +115,7 @@ class FaultMap:
 
     def disable_frame(self, set_index: int, nvm_way: int) -> None:
         self.capacities[set_index, nvm_way] = 0
+        self.rows[set_index][nvm_way] = 0
 
     def load_capacities(self, capacities: np.ndarray) -> None:
         """Bulk-update from the aging model (one forecast step)."""
@@ -114,6 +126,7 @@ class FaultMap:
         if self.granularity == "frame":
             capacities = np.where(capacities >= self.block_size, self.block_size, 0)
         np.copyto(self.capacities, capacities.astype(np.int16))
+        self.rows = self.capacities.tolist()
 
     # ------------------------------------------------------------------
     # per-byte view (rearrangement circuitry, tests)
@@ -150,4 +163,5 @@ class FaultMap:
     def clone(self) -> "FaultMap":
         other = FaultMap(self.n_sets, self.nvm_ways, self.block_size, self.granularity)
         np.copyto(other.capacities, self.capacities)
+        other.rows = self.capacities.tolist()
         return other

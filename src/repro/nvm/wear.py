@@ -16,28 +16,52 @@ import numpy as np
 
 
 class WearTracker:
-    """Per-frame byte-write accumulators for one simulation phase."""
+    """Per-frame byte-write accumulators for one simulation phase.
+
+    Accumulation happens on every NVM frame write, so the counters live
+    in plain nested lists (scalar ``+=`` into a numpy array boxes a new
+    scalar per write); the analysis-side ``bytes_written`` / ``writes``
+    arrays are materialised on demand.
+    """
 
     def __init__(self, n_sets: int, nvm_ways: int) -> None:
         self.n_sets = n_sets
         self.nvm_ways = nvm_ways
-        self.bytes_written = np.zeros((n_sets, nvm_ways), dtype=np.float64)
-        self.writes = np.zeros((n_sets, nvm_ways), dtype=np.int64)
+        self._bytes_rows = [[0] * nvm_ways for _ in range(n_sets)]
+        self._writes_rows = [[0] * nvm_ways for _ in range(n_sets)]
 
     def record_write(self, set_index: int, nvm_way: int, n_bytes: int) -> None:
         """Charge one NVM frame write of ``n_bytes`` bytes."""
-        self.bytes_written[set_index, nvm_way] += n_bytes
-        self.writes[set_index, nvm_way] += 1
+        self._bytes_rows[set_index][nvm_way] += n_bytes
+        self._writes_rows[set_index][nvm_way] += 1
+
+    @property
+    def bytes_written(self) -> np.ndarray:
+        """Per-frame byte-write totals (built on demand, read-only use)."""
+        return np.array(self._bytes_rows, dtype=np.float64).reshape(
+            self.n_sets, self.nvm_ways
+        )
+
+    @property
+    def writes(self) -> np.ndarray:
+        """Per-frame write counts (built on demand, read-only use)."""
+        return np.array(self._writes_rows, dtype=np.int64).reshape(
+            self.n_sets, self.nvm_ways
+        )
 
     def total_bytes_written(self) -> float:
-        return float(self.bytes_written.sum())
+        return float(sum(sum(row) for row in self._bytes_rows))
 
     def total_writes(self) -> int:
-        return int(self.writes.sum())
+        return sum(sum(row) for row in self._writes_rows)
 
     def reset(self) -> None:
-        self.bytes_written.fill(0.0)
-        self.writes.fill(0)
+        for row in self._bytes_rows:
+            for i in range(len(row)):
+                row[i] = 0
+        for row in self._writes_rows:
+            for i in range(len(row)):
+                row[i] = 0
 
     def rates(self, elapsed_seconds: float) -> np.ndarray:
         """Per-frame byte-write rates (bytes/s) over the phase."""

@@ -14,8 +14,6 @@ is what the paper's normalised IPC curves measure.
 
 from __future__ import annotations
 
-from typing import Dict
-
 from ..cache.hierarchy import Level
 from ..cache.stats import CoreStats
 from ..config import CoreConfig, LatencyConfig
@@ -30,14 +28,16 @@ class AnalyticalCore:
         self.core_id = core_id
         self.base_cpi = core_config.base_cpi
         self.mlp = core_config.mlp
-        self._penalty: Dict[Level, float] = {
-            Level.L1: 0.0,
-            Level.L2: latency.l2_hit / core_config.mlp,
-            Level.LLC_SRAM: latency.llc_sram_load / core_config.mlp,
-            Level.LLC_NVM: latency.llc_nvm_total_load / core_config.mlp,
-            Level.PEER: latency.llc_sram_load / core_config.mlp,
-            Level.MEMORY: latency.memory / core_config.mlp,
-        }
+        # Indexed by Level's integer value (L1=0 .. MEMORY=5): a flat
+        # tuple beats a dict keyed by enum members on the hot path.
+        self._penalty = (
+            0.0,                                           # L1
+            latency.l2_hit / core_config.mlp,              # L2
+            latency.llc_sram_load / core_config.mlp,       # LLC_SRAM
+            latency.llc_nvm_total_load / core_config.mlp,  # LLC_NVM
+            latency.llc_sram_load / core_config.mlp,       # PEER
+            latency.memory / core_config.mlp,              # MEMORY
+        )
         self.cycles = 0.0
         self.instructions = 0
 

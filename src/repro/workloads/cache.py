@@ -1,0 +1,170 @@
+"""Workload and trace caching: stop regenerating identical inputs.
+
+Synthetic trace generation is pure — the records depend only on the
+profile's fields, the owning core, the seed and the record count — so
+the same trace is rebuilt from scratch by every simulation, sweep
+point and campaign worker that asks for it.  Two caches remove that
+waste without ever changing a byte of what the engine replays:
+
+* an **in-process** :class:`WorkloadCache` — a small LRU keyed by the
+  exact :class:`~repro.workloads.profiles.AppProfile` tuples (frozen
+  dataclasses, so the key *is* the generator input), seed and record
+  count.  :meth:`repro.experiments.common.ExperimentScale.workload`
+  routes through a shared instance, so a sweep that runs seven
+  policies over one mix builds the workload once, not seven times;
+
+* an **on-disk** materialized-trace cache — binary ``.trc`` files
+  (the :mod:`repro.workloads.traceio` format) under the directory
+  named by the ``REPRO_TRACE_CACHE`` environment variable, keyed by a
+  SHA-256 over every generator input plus :data:`GENERATOR_VERSION`.
+  ``repro campaign`` points this at ``<campaign_dir>/trace_cache`` by
+  default so its worker *processes* share traces across tasks.
+
+Safety properties: cache files are written atomically (tmp +
+``os.replace``), so concurrent workers race harmlessly — last writer
+wins with identical bytes; a corrupt or truncated entry fails
+:func:`~repro.workloads.traceio.load_trace` validation and is silently
+regenerated (a cache must never be able to poison results); and
+:data:`GENERATOR_VERSION` must be bumped whenever the generator's
+record stream changes, which orphans old entries instead of serving
+stale traces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Tuple, TypeVar
+
+from .generator import AppTraceGenerator
+from .profiles import AppProfile
+from .trace import MaterializedTrace, materialize
+from .traceio import TraceFormatError, load_trace, save_trace
+
+#: Version of the synthetic generator's *output stream*.  Bump this
+#: whenever :mod:`repro.workloads.generator` changes the records it
+#: emits for a given (profile, core, seed) — old disk-cache entries
+#: then stop matching any key instead of being replayed stale.
+GENERATOR_VERSION = 1
+
+#: Environment variable naming the on-disk trace cache directory.
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+
+def trace_cache_key(
+    profile: AppProfile, core: int, seed: int, n_records: int
+) -> str:
+    """Hex SHA-256 over every input that shapes a materialized trace."""
+    blob = json.dumps(
+        {
+            "generator_version": GENERATOR_VERSION,
+            "profile": dataclasses.asdict(profile),
+            "core": core,
+            "seed": seed,
+            "n_records": n_records,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def trace_cache_dir() -> Optional[Path]:
+    """The on-disk cache directory, or None if caching is disabled."""
+    value = os.environ.get(TRACE_CACHE_ENV, "").strip()
+    return Path(value) if value else None
+
+
+def load_or_materialize(
+    profile: AppProfile, core: int, seed: int, n_records: int
+) -> MaterializedTrace:
+    """Return the trace for one core, via the disk cache when enabled.
+
+    With ``REPRO_TRACE_CACHE`` unset this is exactly
+    ``materialize(AppTraceGenerator(...), n_records)``; with it set,
+    a hit deserialises the identical columns from disk and a miss
+    generates then stores them atomically.
+    """
+    directory = trace_cache_dir()
+    if directory is None:
+        return materialize(AppTraceGenerator(profile, core, seed=seed), n_records)
+
+    path = directory / f"{trace_cache_key(profile, core, seed, n_records)}.trc"
+    if path.exists():
+        try:
+            return load_trace(path)
+        except (TraceFormatError, OSError):
+            pass  # torn/corrupt entry: fall through and regenerate
+
+    trace = materialize(AppTraceGenerator(profile, core, seed=seed), n_records)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = directory / f".{path.name}.tmp.{os.getpid()}"
+        save_trace(trace, tmp)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # an unwritable cache slows things down, never fails them
+    return trace
+
+
+WorkloadKey = Tuple[Tuple[AppProfile, ...], int, int]
+W = TypeVar("W")
+
+
+class WorkloadCache:
+    """Small in-process LRU of built workloads.
+
+    Keys are ``(profiles, seed, trace_records_per_core)`` — profiles
+    are frozen dataclasses, so equal keys mean byte-identical traces.
+    Sharing a built workload across runs is safe because simulations
+    never mutate it: the only state that grows is the data model's
+    size memo, whose entries are a pure function of (address, seed)
+    and are fully prefetched at construction anyway.
+
+    The cache is deliberately generic over the built value (a
+    ``builder`` callable supplies it on miss) so this module does not
+    import :class:`repro.engine.Workload` and create an import cycle.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[WorkloadKey, object]" = OrderedDict()
+
+    def get(
+        self,
+        profiles: Sequence[AppProfile],
+        seed: int,
+        trace_records_per_core: int,
+        builder: Callable[[], W],
+    ) -> W:
+        """Return the cached workload for the key, building on miss."""
+        key: WorkloadKey = (tuple(profiles), seed, trace_records_per_core)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry  # type: ignore[return-value]
+        self.misses += 1
+        built = builder()
+        self._entries[key] = built
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return built
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide workload cache used by ``ExperimentScale.workload``.
+SHARED_WORKLOAD_CACHE = WorkloadCache()

@@ -124,6 +124,24 @@ class DataModel:
     def compressed_size(self, addr: int) -> int:
         return self.size_fn(addr)[0]
 
+    def prefetch_sizes(self, addrs) -> None:
+        """Warm the size memo for ``addrs`` (any iterable of block
+        addresses).
+
+        Drawing a size seeds a fresh :class:`random.Random` per new
+        address — cheap once, but when it happens lazily the whole cost
+        lands inside the first *compressed-policy* simulation replaying
+        a trace.  Warming at workload-build time moves it to where it
+        belongs; the draws themselves are unchanged (pure function of
+        address and seed).
+        """
+        sizes = self._sizes
+        draw = self._draw_size
+        for addr in addrs:
+            if addr not in sizes:
+                csize = draw(addr)
+                sizes[addr] = (csize, ecb_size(csize))
+
     # ------------------------------------------------------------------
     def block_bytes(self, addr: int) -> bytes:
         """A concrete 64-byte payload matching the address's size class."""

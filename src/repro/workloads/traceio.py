@@ -110,34 +110,44 @@ def validate_trace(path: PathLike) -> Tuple[int, int]:
 
 def save_trace(trace: MaterializedTrace, path: PathLike) -> None:
     """Write a trace in the binary ``.trc`` format."""
+    pack = _RECORD.pack
     with open(path, "wb") as fh:
         fh.write(_HEADER.pack(_MAGIC, _VERSION, len(trace)))
-        for gap, addr, is_write in trace.records:
-            fh.write(_RECORD.pack(gap, addr, int(is_write)))
+        fh.write(
+            b"".join(
+                pack(gap, addr, 1 if write else 0)
+                for gap, addr, write in zip(trace.gaps, trace.addrs, trace.writes)
+            )
+        )
 
 
 def load_trace(path: PathLike) -> MaterializedTrace:
     """Read a binary ``.trc`` trace, validating it first."""
+    from array import array
+
     _, count = validate_trace(path)
     with open(path, "rb") as fh:
         fh.seek(_HEADER.size)
         payload = fh.read(count * _RECORD.size)
-    records: List[TraceRecord] = []
+    gaps = array("Q")
+    addrs = array("Q")
+    writes = bytearray()
     try:
-        for offset in range(0, len(payload), _RECORD.size):
-            gap, addr, is_write = _RECORD.unpack_from(payload, offset)
-            records.append(TraceRecord(gap, addr, bool(is_write)))
+        for gap, addr, is_write in _RECORD.iter_unpack(payload):
+            gaps.append(gap)
+            addrs.append(addr)
+            writes.append(1 if is_write else 0)
     except struct.error as exc:  # pragma: no cover - size already checked
         raise TraceFormatError(path, f"undecodable record: {exc}") from None
-    return MaterializedTrace(records)
+    return MaterializedTrace.from_columns(gaps, addrs, writes)
 
 
 def save_trace_csv(trace: MaterializedTrace, path: PathLike) -> None:
     """Write a trace as ``gap,addr,is_write`` CSV (with header line)."""
     with open(path, "w") as fh:
         fh.write("gap,addr,is_write\n")
-        for gap, addr, is_write in trace.records:
-            fh.write(f"{gap},{addr:#x},{int(is_write)}\n")
+        for gap, addr, write in zip(trace.gaps, trace.addrs, trace.writes):
+            fh.write(f"{gap},{addr:#x},{1 if write else 0}\n")
 
 
 def _parse_int(text: str) -> int:

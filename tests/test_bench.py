@@ -1,0 +1,145 @@
+"""Bench suite: document schema, baseline gate verdicts, CLI exit code."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    STATUS_IMPROVEMENT,
+    STATUS_MISSING_BASELINE,
+    STATUS_OK,
+    STATUS_REGRESSION,
+    BenchMatrix,
+    compare_benches,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+from repro.experiments.common import SMOKE
+
+
+def _document(geomean, cases=(), label="t"):
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "geomean_mcycles_per_s": geomean,
+        "cases": [
+            {"policy": p, "mix": m, "mcycles_per_s": v} for p, m, v in cases
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# real run: schema of the canonical artefact
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def bench_document():
+    matrix = BenchMatrix(
+        policies=("bh",), mixes=("mix1",), epochs=0.5, warmup_epochs=0.25
+    )
+    return run_bench(SMOKE, matrix=matrix, label="unittest")
+
+
+def test_run_bench_document_schema(bench_document):
+    doc = bench_document
+    assert doc["schema"] == BENCH_SCHEMA
+    assert doc["label"] == "unittest"
+    assert doc["scale"] == "smoke"
+    assert doc["matrix"]["policies"] == ["bh"]
+    assert doc["workload_build"]["records"] > 0
+    assert doc["raw_replay"]["records_per_s"] > 0
+    assert len(doc["cases"]) == 1
+    case = doc["cases"][0]
+    assert case["policy"] == "bh" and case["mix"] == "mix1"
+    assert case["mcycles_per_s"] > 0
+    assert doc["geomean_mcycles_per_s"] == case["mcycles_per_s"]
+
+
+def test_write_bench_roundtrip(bench_document, tmp_path):
+    path = write_bench(bench_document, tmp_path)
+    assert path.name == "BENCH_unittest.json"
+    assert load_bench(path) == json.loads(path.read_text())
+    assert load_bench(tmp_path / "BENCH_absent.json") is None
+
+
+# ----------------------------------------------------------------------
+# baseline gate verdicts (synthetic documents)
+# ----------------------------------------------------------------------
+
+def test_compare_missing_baseline():
+    comparison = compare_benches(_document(1.0), None)
+    assert comparison.status == STATUS_MISSING_BASELINE
+    assert comparison.ok
+    assert "no baseline" in comparison.summary()
+
+
+def test_compare_improvement():
+    current = _document(2.0, [("bh", "mix1", 2.0)])
+    baseline = _document(1.0, [("bh", "mix1", 1.0)])
+    comparison = compare_benches(current, baseline, threshold=0.10)
+    assert comparison.status == STATUS_IMPROVEMENT
+    assert comparison.ok
+    assert comparison.geomean_ratio == pytest.approx(2.0)
+    assert comparison.cases[0].ratio == pytest.approx(2.0)
+
+
+def test_compare_regression_not_ok():
+    current = _document(0.8, [("bh", "mix1", 0.8)])
+    baseline = _document(1.0, [("bh", "mix1", 1.0)])
+    comparison = compare_benches(current, baseline, threshold=0.10)
+    assert comparison.status == STATUS_REGRESSION
+    assert not comparison.ok
+
+
+def test_compare_within_threshold_band():
+    comparison = compare_benches(
+        _document(0.95), _document(1.0), threshold=0.10
+    )
+    assert comparison.status == STATUS_OK
+    assert comparison.ok
+
+
+def test_compare_reports_cases_missing_from_baseline():
+    current = _document(1.0, [("bh", "mix1", 1.0), ("tap", "mix4", 1.0)])
+    baseline = _document(1.0, [("bh", "mix1", 1.0)])
+    comparison = compare_benches(current, baseline)
+    assert comparison.missing_cases == ["tap/mix4"]
+    assert len(comparison.cases) == 1
+
+
+def test_compare_rejects_bad_threshold():
+    with pytest.raises(ValueError):
+        compare_benches(_document(1.0), _document(1.0), threshold=0.0)
+
+
+# ----------------------------------------------------------------------
+# CLI gate: regression beyond threshold exits non-zero
+# ----------------------------------------------------------------------
+
+def test_cli_bench_regression_exits_nonzero(bench_document, tmp_path):
+    from repro.cli import main
+
+    measured = bench_document["geomean_mcycles_per_s"]
+    inflated = _document(
+        measured * 10, [("bh", "mix1", measured * 10)], label="base"
+    )
+    baseline_path = tmp_path / "BENCH_base.json"
+    baseline_path.write_text(json.dumps(inflated))
+    argv = [
+        "bench", "--scale", "smoke", "--policies", "bh", "--mixes", "mix1",
+        "--epochs", "0.5", "--warmup-epochs", "0.25",
+        "--out", str(tmp_path), "--label", "gate",
+        "--baseline", str(baseline_path),
+    ]
+    assert main(argv) == 1
+    # the artefact is still written even when the gate fails
+    assert (tmp_path / "BENCH_gate.json").exists()
+    # against a slower baseline the same run passes (improvement);
+    # a deliberately tiny value keeps this immune to timing noise
+    slower = tmp_path / "BENCH_slower.json"
+    slower.write_text(json.dumps(_document(
+        measured / 10, [("bh", "mix1", measured / 10)], label="slower"
+    )))
+    assert main(argv[:-1] + [str(slower)]) == 0

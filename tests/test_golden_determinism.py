@@ -1,0 +1,42 @@
+"""The optimized engine must agree bit-for-bit with the seed engine.
+
+``tests/goldens/determinism.json`` was recorded with the
+pre-optimization engine; every hot-path change since (sharer index,
+array replay, inlined fill paths, workload caching) claims to be
+semantics-preserving.  This test is that claim, enforced: the SHA-256
+of every statistic, epoch record and IPC the golden window produces
+must equal the committed digest for each golden policy.
+
+If a change is *meant* to alter results, re-record with
+``python -c "from repro.bench.golden import compute_golden_digests;
+import json; print(json.dumps(compute_golden_digests(), indent=2))"``
+and say so in the commit message — never silently.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.golden import GOLDEN_POLICIES, compute_golden_digests
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "determinism.json"
+
+
+def test_committed_goldens_cover_the_golden_policies():
+    committed = json.loads(GOLDEN_PATH.read_text())
+    assert set(committed) == set(GOLDEN_POLICIES)
+    for policy, digest in committed.items():
+        assert isinstance(digest, str) and len(digest) == 64, policy
+
+
+def test_engine_matches_committed_goldens():
+    committed = json.loads(GOLDEN_PATH.read_text())
+    computed = compute_golden_digests()
+    mismatches = {
+        policy: (committed.get(policy), digest)
+        for policy, digest in computed.items()
+        if committed.get(policy) != digest
+    }
+    assert not mismatches, (
+        "engine output diverged from the committed goldens "
+        f"(policy -> (committed, computed)): {mismatches}"
+    )

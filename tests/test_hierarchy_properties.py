@@ -99,6 +99,57 @@ def test_invariants_hold_with_aging_between_bursts(seed):
         check_invariants(h)
 
 
+def _nonzero_masks(masks):
+    return {addr: mask for addr, mask in masks.items() if mask}
+
+
+@given(
+    policy_name=POLICY_STRATEGY,
+    seed=st.integers(0, 2**16),
+    n_ops=st.integers(300, 900),
+    addr_space=st.integers(8, 64),
+    write_prob=st.floats(0.0, 0.9),
+)
+@settings(max_examples=30, deadline=None)
+def test_sharer_index_matches_brute_force(
+    policy_name, seed, n_ops, addr_space, write_prob
+):
+    """The O(1) directory index never drifts from the cache contents.
+
+    Heavy sharing plus a high write probability exercises every index
+    transition: fills into L1/L2, silent and dirty L2 evictions, GetX
+    revocation of peer copies, and LLC evictions to memory (the tiny
+    LLC overflows constantly).  After the storm — and periodically
+    during it — the incrementally maintained masks must equal a
+    brute-force rescan of the private caches.
+    """
+    config = tiny_config(n_cores=3)
+    size_fn = lambda addr: ((addr % 4) * 16 + 10, (addr % 4) * 16 + 12)
+    h = MemoryHierarchy(config, make_policy(policy_name), size_fn=size_fn)
+    rng = random.Random(seed)
+
+    def check():
+        l1_oracle, l2_oracle = h.rebuild_sharer_index()
+        assert _nonzero_masks(h._sharer_l1) == l1_oracle
+        assert _nonzero_masks(h._sharer_l2) == l2_oracle
+        for addr in set(l1_oracle) | set(l2_oracle):
+            assert h.sharer_masks(addr) == (
+                l1_oracle.get(addr, 0), l2_oracle.get(addr, 0)
+            )
+
+    for op in range(n_ops):
+        core = rng.randrange(3)
+        shared = rng.random() < 0.5  # high contention: GetX revocations
+        addr = rng.randrange(addr_space) if shared else (
+            (core << 28) | rng.randrange(addr_space)
+        )
+        h.access(core, addr, rng.random() < write_prob)
+        if op % 97 == 96:
+            check()
+    check()
+    check_invariants(h)
+
+
 def test_single_core_system():
     config = SystemConfig(
         cores=CoreConfig(n_cores=1),
