@@ -1,0 +1,18 @@
+# Convenience targets; scripts/ci.sh is the canonical gate.
+
+.PHONY: ci test bench bench-parallel
+
+ci:
+	scripts/ci.sh
+
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+# Full engine bench against the committed baseline.
+bench:
+	PYTHONPATH=src python -m repro bench --scale smoke \
+		--baseline benchmarks/results/BENCH_engine.json
+
+# Campaign scaling bench (pool vs isolated, jobs sweep).
+bench-parallel:
+	PYTHONPATH=src python -m repro bench --jobs auto

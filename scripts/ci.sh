@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the full test suite plus a fast performance smoke.
+#
+# Usage: scripts/ci.sh [--skip-tests|--skip-bench]
+#
+# The bench leg runs a *reduced* matrix (3 policies x 1 mix, smoke
+# scale, best-of-3) against the committed full-matrix baseline —
+# `compare_benches` scores the geomean of *matched* per-case ratios,
+# so the skipped cells do not skew the verdict.  A geomean regression
+# beyond the threshold exits non-zero.  The reduced matrix keeps this
+# leg well under two minutes; the full matrix remains available via
+# `python -m repro bench` directly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_TESTS=1
+RUN_BENCH=1
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tests) RUN_TESTS=0 ;;
+    --skip-bench) RUN_BENCH=0 ;;
+    *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+if [[ "$RUN_TESTS" == 1 ]]; then
+  echo "== ci: tier-1 test suite =="
+  python -m pytest -x -q
+fi
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  echo "== ci: bench regression smoke (reduced matrix) =="
+  BENCH_OUT="$(mktemp -d)"
+  trap 'rm -rf "$BENCH_OUT"' EXIT
+  python -m repro bench \
+    --scale smoke \
+    --label ci_smoke \
+    --policies bh,ca_rwr,cp_sd \
+    --mixes mix1 \
+    --repeats 3 \
+    --out "$BENCH_OUT" \
+    --baseline benchmarks/results/BENCH_engine.json \
+    --threshold 0.25
+fi
+
+echo "== ci: OK =="

@@ -23,6 +23,7 @@ from .compare import (
     load_bench,
 )
 from .golden import GOLDEN_MIX, GOLDEN_POLICIES, compute_golden_digests, simulation_digest
+from .parallel import run_parallel_bench
 from .runner import BENCH_SCHEMA, BenchMatrix, run_bench, write_bench
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "compute_golden_digests",
     "load_bench",
     "run_bench",
+    "run_parallel_bench",
     "simulation_digest",
     "write_bench",
 ]

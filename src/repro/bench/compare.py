@@ -2,7 +2,11 @@
 
 A committed ``BENCH_<label>.json`` is the performance contract; this
 module diffs a fresh run against it.  The verdict is driven by the
-geomean ratio (current / baseline):
+geomean of the *matched per-case* ratios (current / baseline over the
+(policy, mix) cells both documents ran) — so a reduced-matrix smoke
+run compares fairly against a full-matrix baseline instead of being
+skewed by the cells it skipped.  Documents with no matched cases fall
+back to the ratio of the two headline geomeans.  The verdict:
 
 * ``regression``  — ratio below ``1 - threshold``; the CLI exits 1;
 * ``improvement`` — ratio above ``1 + threshold`` (time to re-commit
@@ -17,6 +21,7 @@ policy getting slower while another gets faster.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Union
@@ -64,6 +69,12 @@ class BenchComparison:
     def summary(self) -> str:
         if self.status == STATUS_MISSING_BASELINE:
             return "bench: no baseline to compare against"
+        if self.cases:
+            return (
+                f"bench {self.status}: {self.geomean_ratio:.2f}x geomean "
+                f"over {len(self.cases)} matched cases "
+                f"(threshold +/-{self.threshold:.0%})"
+            )
         return (
             f"bench {self.status}: geomean {self.current_geomean:.3f} "
             f"vs baseline {self.baseline_geomean:.3f} Mcycles/s "
@@ -110,7 +121,15 @@ def compare_benches(
 
     baseline_geomean = baseline.get("geomean_mcycles_per_s", 0.0)
     current_geomean = current.get("geomean_mcycles_per_s", 0.0)
-    ratio = current_geomean / baseline_geomean if baseline_geomean > 0 else 0.0
+    ratios = [c.ratio for c in cases]
+    if ratios and all(r > 0 for r in ratios):
+        ratio = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    elif ratios:
+        ratio = 0.0  # a zero-rate case is a regression by definition
+    else:
+        ratio = (
+            current_geomean / baseline_geomean if baseline_geomean > 0 else 0.0
+        )
     if ratio < 1.0 - threshold:
         status = STATUS_REGRESSION
     elif ratio > 1.0 + threshold:

@@ -1,0 +1,236 @@
+"""Parallel scaling benchmark: ``python -m repro bench --jobs``.
+
+Measures what the campaign harness actually delivers, not what the
+engine could: each run drives a full campaign of uniform
+``bench_cells`` tasks (one per policy x mix) through the real
+scheduler and reports wall-clock speedup, per-worker efficiency and
+the warm-pool advantage.
+
+Three questions, three measurements:
+
+* **scaling** — pool-mode campaigns at each requested job count;
+  ``speedup`` is wall(jobs=1) / wall(jobs=N) and ``efficiency`` is
+  speedup / N.  On a single-core host this is degenerate by
+  construction (N=1, efficiency 1.0) — the document records
+  ``cpu_count`` so a reader can tell;
+* **warm-pool advantage** — the same matrix in ``isolate_tasks`` mode
+  (a fresh process per task, the PR 1 model) versus the *warm* tasks
+  of the pool run.  A pool worker pays interpreter start-up, imports
+  and the workload build once per mix; every later same-mix cell
+  reuses them.  The first cell of each mix is the cold one, so it is
+  excluded from the warm geomean;
+* **cold-start floor** — those excluded first-per-mix durations,
+  reported separately.
+
+Caveat on measurement points: pool durations are measured *inside*
+the worker (dispatch overhead excluded), isolated durations are
+launch-to-exit (interpreter start-up included).  That asymmetry is
+the point — process start-up is precisely the cost the pool
+amortises — but it means the two duration sets answer "what does one
+task cost in this mode", not "how fast is the engine".
+
+All runs share one on-disk trace cache (pre-warmed before timing), so
+no run pays trace *generation* and the comparison isolates execution
+mode, not cache luck.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..experiments.common import ExperimentScale, geometric_mean
+from .runner import BENCH_SCHEMA, _host_metadata
+
+
+def _parse_jobs_spec(spec: str) -> List[int]:
+    """``auto`` -> {1, cpu_count}; else a comma list of counts."""
+    if spec.strip() == "auto":
+        return sorted({1, max(1, os.cpu_count() or 1)})
+    try:
+        values = sorted({int(v) for v in spec.split(",") if v.strip()})
+    except ValueError:
+        raise ValueError(
+            f"bad --jobs spec {spec!r}: expected 'auto' or e.g. '1,4,8'"
+        ) from None
+    if not values or any(v < 1 for v in values):
+        raise ValueError(f"bad --jobs spec {spec!r}: counts must be >= 1")
+    return values
+
+
+def _run_campaign_timed(
+    scale: ExperimentScale,
+    directory: Path,
+    jobs: int,
+    isolate_tasks: bool,
+    task_timeout: float,
+) -> Dict:
+    from ..harness import CampaignSettings, run_campaign
+
+    settings = CampaignSettings(
+        jobs=jobs,
+        task_timeout=task_timeout,
+        retries=0,
+        isolate_tasks=isolate_tasks,
+    )
+    start = time.perf_counter()
+    report = run_campaign(
+        directory,
+        scale=scale.name,
+        experiments=("bench_cells",),
+        settings=settings,
+    )
+    wall = time.perf_counter() - start
+    if not report.ok:
+        kinds = [f.failures[-1].kind for f in report.failed if f.failures]
+        raise RuntimeError(
+            f"scaling campaign (jobs={jobs}, "
+            f"{'isolated' if isolate_tasks else 'pool'}) did not complete: "
+            f"{len(report.failed)} failed {kinds}"
+        )
+    return {
+        "mode": "isolated" if isolate_tasks else "pool",
+        "jobs": jobs,
+        "tasks": report.completed,
+        "wall_seconds": wall,
+        "tasks_per_s": report.completed / wall if wall > 0 else 0.0,
+        "durations": dict(sorted(report.durations.items())),
+    }
+
+
+def _split_cold_warm(scale: ExperimentScale, durations: Dict[str, float]):
+    """Partition pool durations into first-per-mix (cold) and warm."""
+    from ..experiments.bench_cells import enumerate_bench_cell_units
+    from ..experiments.campaign_tasks import CampaignTask
+
+    cold_ids = set()
+    seen_mixes = set()
+    for unit in enumerate_bench_cell_units(scale):
+        task_id = CampaignTask("bench_cells", unit).task_id
+        if unit["mix"] not in seen_mixes:
+            seen_mixes.add(unit["mix"])
+            cold_ids.add(task_id)
+    cold = {t: s for t, s in durations.items() if t in cold_ids}
+    warm = {t: s for t, s in durations.items() if t not in cold_ids}
+    return cold, warm
+
+
+def run_parallel_bench(
+    scale: ExperimentScale,
+    jobs_values: Optional[Sequence[int]] = None,
+    label: str = "parallel",
+    task_timeout: float = 600.0,
+    progress=None,
+) -> dict:
+    """Run the scaling matrix; return the canonical result document."""
+    from ..workloads.cache import TRACE_CACHE_ENV
+
+    say = progress or (lambda message: None)
+    jobs_values = sorted(
+        set(jobs_values) if jobs_values else {1, max(1, os.cpu_count() or 1)}
+    )
+
+    runs: List[Dict] = []
+    previous_cache = os.environ.get(TRACE_CACHE_ENV)
+    with tempfile.TemporaryDirectory(prefix="repro-parbench-") as tmp:
+        root = Path(tmp)
+        os.environ[TRACE_CACHE_ENV] = str(root / "trace_cache")
+        try:
+            # Pre-warm the on-disk trace cache (and size sidecars) so no
+            # timed run pays one-off trace generation — then drop the
+            # in-process workload cache: under the fork start method
+            # every worker would inherit it, handing both modes a
+            # pre-built workload and erasing exactly the cost the
+            # comparison exists to measure.
+            say("pre-warming trace cache ...")
+            from ..workloads.cache import SHARED_WORKLOAD_CACHE
+
+            for mix in scale.mixes[:2]:
+                scale.workload(mix, seed=0)
+            SHARED_WORKLOAD_CACHE.clear()
+
+            for jobs in jobs_values:
+                say(f"pool campaign, jobs={jobs} ...")
+                run = _run_campaign_timed(
+                    scale, root / f"pool-{jobs}", jobs,
+                    isolate_tasks=False, task_timeout=task_timeout,
+                )
+                runs.append(run)
+                say(
+                    f"  {run['tasks']} tasks in {run['wall_seconds']:.2f}s "
+                    f"({run['tasks_per_s']:.2f} tasks/s)"
+                )
+
+            say("isolated campaign, jobs=1 ...")
+            isolated = _run_campaign_timed(
+                scale, root / "isolated-1", 1,
+                isolate_tasks=True, task_timeout=task_timeout,
+            )
+            runs.append(isolated)
+            say(
+                f"  {isolated['tasks']} tasks in "
+                f"{isolated['wall_seconds']:.2f}s"
+            )
+        finally:
+            if previous_cache is None:
+                os.environ.pop(TRACE_CACHE_ENV, None)
+            else:
+                os.environ[TRACE_CACHE_ENV] = previous_cache
+
+    pool_runs = [r for r in runs if r["mode"] == "pool"]
+    base = pool_runs[0]
+    scaling = []
+    for run in pool_runs:
+        speedup = (
+            base["wall_seconds"] / run["wall_seconds"]
+            if run["wall_seconds"] > 0 else 0.0
+        )
+        scaling.append(
+            {
+                "jobs": run["jobs"],
+                "wall_seconds": run["wall_seconds"],
+                "speedup": speedup,
+                "efficiency": speedup / run["jobs"],
+            }
+        )
+        say(
+            f"jobs={run['jobs']}: speedup {speedup:.2f}x, "
+            f"efficiency {speedup / run['jobs']:.2f}"
+        )
+
+    # Warm-pool advantage: isolated vs warm pool tasks, matched by id.
+    cold, warm = _split_cold_warm(scale, base["durations"])
+    ratios = [
+        isolated["durations"][task_id] / seconds
+        for task_id, seconds in warm.items()
+        if task_id in isolated["durations"] and seconds > 0
+    ]
+    warm_advantage = geometric_mean(ratios)
+    say(
+        f"warm-pool advantage: {warm_advantage:.2f}x over "
+        f"{len(ratios)} warm tasks (cold floor "
+        f"{geometric_mean(cold.values()):.2f}s/task)"
+    )
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "created_unix": time.time(),
+        "host": _host_metadata(),
+        "scale": scale.name,
+        "runs": runs,
+        "scaling": scaling,
+        "warm_pool": {
+            "advantage_geomean": warm_advantage,
+            "warm_tasks": len(ratios),
+            "cold_tasks": len(cold),
+            "pool_warm_geomean_s": geometric_mean(warm.values()),
+            "pool_cold_geomean_s": geometric_mean(cold.values()),
+            "isolated_geomean_s": geometric_mean(
+                isolated["durations"].values()
+            ),
+        },
+    }

@@ -264,6 +264,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         backoff_base=args.backoff,
         chaos=chaos,
         profile_dir=args.profile,
+        isolate_tasks=args.isolate_tasks,
     )
 
     if args.resume:
@@ -275,9 +276,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             raise UsageError("campaign needs --out DIR (or --resume DIR)")
         directory, resume = args.out, False
         scale_name = _resolve_scale(args.scale).name
+        from .experiments import ALL_EXPERIMENT_NAMES
+
         experiments = [e.strip() for e in args.experiments.split(",") if e.strip()]
         for name in experiments:
-            _check_choice("experiment", name, EXPERIMENT_NAMES)
+            _check_choice("experiment", name, ALL_EXPERIMENT_NAMES)
 
     # Workers inherit the environment, so pointing the trace cache at
     # the campaign directory lets every task share materialized traces.
@@ -320,10 +323,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
         compare_benches,
         load_bench,
         run_bench,
+        run_parallel_bench,
         write_bench,
     )
 
     scale = _resolve_scale(args.scale)
+
+    if args.jobs is not None:
+        from .bench.parallel import _parse_jobs_spec
+
+        try:
+            jobs_values = _parse_jobs_spec(args.jobs)
+        except ValueError as exc:
+            raise UsageError(str(exc)) from None
+        label = args.label if args.label != "engine" else "parallel"
+        document = run_parallel_bench(
+            scale, jobs_values=jobs_values, label=label, progress=print
+        )
+        path = write_bench(document, args.out)
+        print(f"wrote {path}")
+        warm = document["warm_pool"]
+        print(
+            f"warm-pool advantage {warm['advantage_geomean']:.2f}x "
+            f"over {warm['warm_tasks']} tasks; efficiency at max jobs "
+            f"{document['scaling'][-1]['efficiency']:.2f}"
+        )
+        return 0
     policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
     for name in policies:
         _check_choice("policy", name, registered_policies())
@@ -426,6 +451,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject faults, e.g. p=0.3,kinds=crash,timeout,corrupt")
     p.add_argument("--profile", default=None, metavar="DIR",
                    help="each worker dumps DIR/<task_id>.pstats")
+    p.add_argument("--isolate-tasks", action="store_true",
+                   help="fresh worker process per task attempt instead of "
+                        "the persistent warm-cache pool")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
@@ -445,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--repeats", type=int, default=1,
                    help="timing repeats per case (best-of is reported)")
+    p.add_argument("--jobs", default=None, metavar="SPEC",
+                   help="parallel scaling mode: run bench_cells campaigns "
+                        "at these job counts ('auto' = 1 and cpu_count, or "
+                        "e.g. '1,4,8'); writes BENCH_parallel.json")
     p.add_argument("--out", default="benchmarks/results", metavar="DIR",
                    help="directory for BENCH_<label>.json")
     p.add_argument("--baseline", default=None, metavar="FILE",

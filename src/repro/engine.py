@@ -25,7 +25,11 @@ from .cache.stats import HierarchyStats
 from .config import SystemConfig
 from .core.policy import InsertionPolicy
 from .timing.core_model import AnalyticalCore
-from .workloads.cache import load_or_materialize
+from .workloads.cache import (
+    load_or_materialize,
+    load_sizes_sidecar,
+    save_sizes_sidecar,
+)
 from .workloads.data import DataModel
 from .workloads.mixes import mix_profiles
 from .workloads.profiles import AppProfile
@@ -52,9 +56,23 @@ class Workload:
         ]
         # Every address a replay can touch is known now; warm the data
         # model's size memo here so no simulation pays the (per-address
-        # PRNG-seeding) cost of a first-touch draw mid-run.
-        for trace in self.traces:
-            self.data_model.prefetch_sizes(trace.addrs)
+        # PRNG-seeding) cost of a first-touch draw mid-run.  With the
+        # on-disk trace cache enabled, the per-address draws themselves
+        # are skipped: each trace's (csize, ecb) table persists in a
+        # sidecar keyed by the same content hash, so the whole policy
+        # matrix synthesises BDI sizes for a given trace exactly once.
+        for core, (prof, trace) in enumerate(zip(self.profiles, self.traces)):
+            sizes = load_sizes_sidecar(
+                prof, core, seed, trace_records_per_core
+            )
+            if sizes is not None:
+                self.data_model.preload_sizes(sizes)
+            else:
+                self.data_model.prefetch_sizes(trace.addrs)
+                save_sizes_sidecar(
+                    prof, core, seed, trace_records_per_core,
+                    self.data_model.sizes_for(set(trace.addrs)),
+                )
 
     @classmethod
     def from_mix(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Sequence
 
+from .bench_cells import enumerate_bench_cell_units, run_bench_cell_unit
 from .common import ExperimentScale
 from .compressibility import enumerate_fig2_units, run_fig2_unit
 from .cpth_sweep import enumerate_cpth_units, run_cpth_unit
@@ -76,10 +77,23 @@ EXPERIMENTS: Dict[str, ExperimentDef] = {
             run_lifetime_unit,
             "Fig. 10a performance-vs-lifetime forecasts",
         ),
+        ExperimentDef(
+            "bench_cells",
+            enumerate_bench_cell_units,
+            run_bench_cell_unit,
+            "uniform (policy x mix) engine cells for scaling benchmarks",
+        ),
     )
 }
 
-EXPERIMENT_NAMES = tuple(sorted(EXPERIMENTS))
+#: Experiments scheduled by a default ``repro campaign`` run: the
+#: paper's figures and tables.  ``bench_cells`` reproduces nothing and
+#: is deliberately excluded — it runs only when named explicitly
+#: (``--experiments bench_cells`` or ``repro bench --jobs``).
+EXPERIMENT_NAMES = tuple(sorted(set(EXPERIMENTS) - {"bench_cells"}))
+
+#: Every campaign-runnable experiment, benchmark cells included.
+ALL_EXPERIMENT_NAMES = tuple(sorted(EXPERIMENTS))
 
 
 def unit_id(unit: Mapping) -> str:

@@ -1,8 +1,10 @@
 """Fault-tolerant experiment campaign harness.
 
 Runs a paper evaluation as a *campaign*: every (figure x mix x
-policy) unit executes in an isolated worker process with a timeout
-and a retry budget, completed results checkpoint atomically into a
+policy) unit executes in a worker process — by default a persistent
+pool worker with warm trace/workload caches, or (with
+``isolate_tasks``) a fresh process per attempt — with a timeout and a
+retry budget, completed results checkpoint atomically into a
 manifest-tracked directory, and an interrupted or partially-failed
 campaign resumes exactly where it left off.  A deterministic chaos
 mode injects worker crashes, hangs and torn writes so the recovery
@@ -48,7 +50,7 @@ from .scheduler import (
     CampaignSettings,
     run_campaign,
 )
-from .worker import worker_entry
+from .worker import pool_worker_entry, worker_entry
 
 __all__ = [
     "AttemptFailure",
@@ -73,6 +75,7 @@ __all__ = [
     "dump_json",
     "load_result",
     "parse_chaos_spec",
+    "pool_worker_entry",
     "run_campaign",
     "verify_result",
     "worker_entry",

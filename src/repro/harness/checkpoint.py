@@ -7,9 +7,12 @@ path (and ``fsync`` the directory so the rename survives a power
 cut).  A reader therefore only ever sees either the previous complete
 version or the new complete version, never a torn write.
 
-Integrity checking reuses :func:`repro.workloads.traceio.file_sha256`
-— the same streamed content hash the trace loader uses — so a result
-recorded in the manifest can be re-verified byte-for-byte on resume.
+Integrity checking reuses
+:func:`repro.workloads.traceio.file_sha256_cached` — the same
+streamed content hash the trace loader uses, memoized by
+``(path, size, mtime_ns)`` — so resuming a large campaign verifies
+unchanged artefacts from the stat cache instead of re-hashing every
+byte, while any rewrite (size or mtime change) re-hashes in full.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Tuple, Union
 
-from ..workloads.traceio import file_sha256
+from ..workloads.traceio import file_sha256_cached
 from .errors import CorruptResultError
 
 PathLike = Union[str, Path]
@@ -54,7 +57,7 @@ def write_atomic(path: PathLike, data: bytes) -> str:
         if tmp.exists():  # replace failed; don't litter
             tmp.unlink()
     _fsync_dir(path.parent)
-    return file_sha256(path)
+    return file_sha256_cached(path)
 
 
 def dump_json(obj: Any) -> bytes:
@@ -102,7 +105,7 @@ def verify_result(
         )
     if payload.get("status") != "ok":
         raise CorruptResultError(path, f"status is {payload.get('status')!r}")
-    actual = file_sha256(path)
+    actual = file_sha256_cached(path)
     if expected_sha256 is not None and actual != expected_sha256:
         raise CorruptResultError(
             path, f"sha256 mismatch: {actual} != {expected_sha256}"

@@ -1,12 +1,24 @@
 """The fault-tolerant campaign scheduler.
 
 Drives a set of :class:`~repro.experiments.campaign_tasks.CampaignTask`
-units to completion across a pool of isolated worker processes:
+units to completion across worker processes, in one of two modes:
 
-* **crash containment** — workers are plain ``multiprocessing``
-  processes; a dead worker is an event, never an exception;
-* **per-task timeouts** — a hung worker is killed at its deadline and
-  the attempt is recorded as a timeout;
+* **pool** (default) — a persistent pool of long-lived workers pulls
+  *batches* of tasks over pipes and keeps trace/sidecar/workload
+  caches warm across tasks, so an N-cell policy matrix pays the
+  interpreter spawn and workload build once per worker instead of
+  once per cell;
+* **isolated** (``isolate_tasks=True``) — the PR 1 model, one process
+  per task attempt, for tasks that should never share an interpreter.
+
+Both modes keep the same fault-tolerance guarantees:
+
+* **crash containment** — a dead worker is an event, never an
+  exception; its in-flight task requeues and (in pool mode) a fresh
+  worker replaces it;
+* **per-task deadlines** — pool workers heartbeat a ``start`` message
+  per task, arming a deadline; a worker that blows it is killed and
+  the attempt recorded as a timeout;
 * **retry with exponential backoff** — failed attempts re-queue with
   ``base * 2**(tries-1)`` delay (capped), until the retry budget is
   exhausted;
@@ -15,14 +27,17 @@ units to completion across a pool of isolated worker processes:
 * **resume** — a re-run skips every verified-complete task and
   re-executes only missing, corrupt or failed ones.
 
-The scheduler is single-threaded and event-driven: it polls its
-children (cheaply) rather than trusting them to report, because the
-whole point is surviving children that cannot report.
+The scheduler is single-threaded and event-driven: it blocks in
+:func:`multiprocessing.connection.wait` on worker pipes and process
+sentinels — completion is observed the instant it happens, not at the
+next poll tick — with a bounded timeout so deadline and chaos checks
+still fire even when every child is silent.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
 import time
 from dataclasses import dataclass, field
@@ -44,10 +59,14 @@ from .errors import (
     TaskFailureReport,
 )
 from .manifest import FAILURES_NAME, MANIFEST_NAME, CampaignManifest
-from .worker import build_payload, worker_entry
+from .worker import build_payload, pool_worker_entry, worker_entry
 
 PathLike = Union[str, Path]
 Progress = Optional[Callable[[str], None]]
+
+#: Upper bound on one event-loop wait: deadline enforcement, backoff
+#: release and ``stop_after`` checks can never lag further than this.
+_WAIT_CAP = 0.2
 
 
 def _default_start_method() -> str:
@@ -72,6 +91,13 @@ class CampaignSettings:
     #: When set, every worker profiles its task attempt with cProfile
     #: and dumps ``<profile_dir>/<task_id>.pstats``.
     profile_dir: Optional[str] = None
+    #: ``True`` restores the one-process-per-attempt mode (PR 1);
+    #: the default runs a persistent worker pool with warm caches.
+    isolate_tasks: bool = False
+    #: Tasks dispatched to a pool worker per message.  1 keeps the
+    #: scheduler maximally reactive; larger batches shave dispatch
+    #: round-trips on very short tasks.
+    batch_size: int = 1
 
 
 @dataclass
@@ -84,6 +110,12 @@ class CampaignReport:
     retried_attempts: int = 0          # failed attempts that were retried
     failed: List[TaskFailureReport] = field(default_factory=list)
     interrupted: bool = False
+    #: Wall seconds of each *successful* attempt, by task id.  Pool
+    #: mode measures inside the worker (dispatch overhead excluded);
+    #: isolated mode measures launch-to-exit.
+    durations: Dict[str, float] = field(default_factory=dict)
+    #: Pool workers replaced after dying or blowing a deadline.
+    worker_respawns: int = 0
 
     @property
     def ok(self) -> bool:
@@ -105,10 +137,36 @@ class _TaskState:
 
 @dataclass
 class _Running:
+    """One isolated-mode attempt in flight."""
+
     state: _TaskState
     process: multiprocessing.process.BaseProcess
     deadline: float
     attempt: int
+    started: float
+
+
+@dataclass
+class _PoolTask:
+    """One attempt dispatched to (not necessarily started by) a worker."""
+
+    state: _TaskState
+    attempt: int
+    started: bool = False              # "start" heartbeat observed
+
+
+@dataclass
+class _PoolWorker:
+    """One persistent worker and the batch it currently owns."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: "multiprocessing.connection.Connection"
+    assigned: List[_PoolTask] = field(default_factory=list)
+    deadline: Optional[float] = None   # armed while a task is in flight
+
+    @property
+    def idle(self) -> bool:
+        return not self.assigned
 
 
 class CampaignRunner:
@@ -157,6 +215,8 @@ class CampaignRunner:
         get_scale(self.scale_name)
 
     # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
     def _clean_stale_tmp(self) -> None:
         for tmp in self.manifest.results_dir.glob(".*.tmp.*"):
             tmp.unlink()
@@ -165,122 +225,71 @@ class CampaignRunner:
         stem = task.filename[: -len(".json")]
         return self.manifest.errors_dir / f"{stem}.attempt{attempt}.json"
 
-    def _launch(self, state: _TaskState) -> _Running:
+    def _result_path(self, task: CampaignTask) -> Path:
+        return self.manifest.results_dir / task.filename
+
+    def _payload(self, state: _TaskState, attempt: int) -> str:
         task = state.task
-        attempt = state.attempts + 1
-        payload = build_payload(
+        return build_payload(
             task_id=task.task_id,
             experiment=task.experiment,
             unit=dict(task.unit),
             scale=self.scale_name,
-            result_path=str(self.manifest.results_dir / task.filename),
+            result_path=str(self._result_path(task)),
             error_path=str(self._error_path(task, attempt)),
             attempt=attempt,
             chaos=self.settings.chaos,
             hang_seconds=self.settings.task_timeout * 4 + 60.0,
             profile_dir=self.settings.profile_dir,
         )
-        process = self._ctx.Process(
-            target=worker_entry, args=(payload,), daemon=True
-        )
-        process.start()
-        return _Running(
-            state=state,
-            process=process,
-            deadline=time.monotonic() + self.settings.task_timeout,
-            attempt=attempt,
-        )
 
-    def _kill(self, running: _Running) -> None:
-        process = running.process
-        if process.is_alive():
-            process.terminate()
-            process.join(2.0)
-            if process.is_alive():  # pragma: no cover - stubborn child
-                process.kill()
-                process.join(2.0)
-
-    # ------------------------------------------------------------------
-    def _classify_failure(
-        self, running: _Running, timed_out: bool
-    ) -> AttemptFailure:
-        task = running.state.task
-        result_path = self.manifest.results_dir / task.filename
-        if timed_out:
-            failure = AttemptFailure(
-                task.task_id,
-                running.attempt,
-                TIMEOUT,
-                f"exceeded {self.settings.task_timeout:g}s deadline",
-            )
-        else:
-            exitcode = running.process.exitcode
-            error_path = self._error_path(task, running.attempt)
-            if error_path.exists():
-                try:
-                    record = load_result(error_path)
-                    trace = record.get("traceback")
-                except CorruptResultError:
-                    trace = None
-                failure = AttemptFailure(
-                    task.task_id,
-                    running.attempt,
-                    ERROR,
-                    f"worker exited {exitcode}",
-                    traceback=trace,
-                )
-            elif exitcode == 0:
-                # Exited cleanly but the result did not verify.
-                try:
-                    verify_result(result_path, task.task_id)
-                    raise AssertionError("classify called on verified result")
-                except CorruptResultError as exc:
-                    failure = AttemptFailure(
-                        task.task_id, running.attempt, CORRUPT, exc.reason
-                    )
-            else:
-                failure = AttemptFailure(
-                    task.task_id,
-                    running.attempt,
-                    CRASH,
-                    f"worker died with exit code {exitcode}",
-                )
-        # Never leave a bad result file where resume could trip on it.
+    def _scrub_bad_result(self, task: CampaignTask) -> None:
+        """Never leave a bad result file where resume could trip on it."""
+        result_path = self._result_path(task)
         if result_path.exists():
             try:
                 verify_result(result_path, task.task_id)
             except CorruptResultError:
                 result_path.unlink()
-        return failure
 
-    def _settle(self, running: _Running, report: CampaignReport, timed_out: bool):
-        state = running.state
+    def _complete(
+        self, state: _TaskState, report: CampaignReport, duration: float
+    ) -> Optional[AttemptFailure]:
+        """Verify and record a reportedly-successful attempt.
+
+        Returns ``None`` on success or the CORRUPT failure to apply.
+        """
         task = state.task
-        state.attempts = running.attempt
-        state.tries_this_run += 1
+        try:
+            _, sha256 = verify_result(self._result_path(task), task.task_id)
+        except CorruptResultError as exc:
+            return AttemptFailure(
+                task.task_id, state.attempts, CORRUPT, exc.reason
+            )
+        self.manifest.mark_complete(
+            task.task_id,
+            f"{self.manifest.results_dir.name}/{task.filename}",
+            sha256,
+            state.attempts,
+        )
+        report.completed += 1
+        report.durations[task.task_id] = duration
+        self.progress(
+            f"done {task.task_id} "
+            f"({report.completed + report.skipped}/{report.total})"
+        )
+        return None
 
-        if not timed_out and running.process.exitcode == 0:
-            result_path = self.manifest.results_dir / task.filename
-            try:
-                _, sha256 = verify_result(result_path, task.task_id)
-            except CorruptResultError:
-                pass
-            else:
-                self.manifest.mark_complete(
-                    task.task_id,
-                    f"{self.manifest.results_dir.name}/{task.filename}",
-                    sha256,
-                    state.attempts,
-                )
-                report.completed += 1
-                self.progress(
-                    f"done {task.task_id} "
-                    f"({report.completed + report.skipped}/{report.total})"
-                )
-                return None
-
-        failure = self._classify_failure(running, timed_out)
+    def _fail_attempt(
+        self,
+        state: _TaskState,
+        report: CampaignReport,
+        failure: AttemptFailure,
+    ) -> Optional[_TaskState]:
+        """Record a failed attempt; return the state to requeue, if any."""
+        task = state.task
         state.failures.append(failure)
+        self._scrub_bad_result(task)
         if state.tries_this_run > self.settings.retries:
             self.manifest.mark_failed(
                 task.task_id, state.attempts, failure.to_json()
@@ -293,7 +302,6 @@ class CampaignRunner:
                 f"({failure.kind}: {failure.detail})"
             )
             return None
-
         delay = min(
             self.settings.backoff_cap,
             self.settings.backoff_base * (2 ** (state.tries_this_run - 1)),
@@ -302,10 +310,27 @@ class CampaignRunner:
         report.retried_attempts += 1
         self.progress(
             f"retry {task.task_id} in {delay:.2g}s "
-            f"(attempt {running.attempt} {failure.kind}: {failure.detail})"
+            f"(attempt {state.attempts} {failure.kind}: {failure.detail})"
         )
         return state
 
+    def _error_failure(
+        self, state: _TaskState, attempt: int, detail: str
+    ) -> AttemptFailure:
+        """An ERROR failure, with the worker's traceback if recorded."""
+        error_path = self._error_path(state.task, attempt)
+        trace = None
+        if error_path.exists():
+            try:
+                trace = load_result(error_path).get("traceback")
+            except CorruptResultError:
+                trace = None
+        return AttemptFailure(
+            state.task.task_id, attempt, ERROR, detail, traceback=trace
+        )
+
+    # ------------------------------------------------------------------
+    # entry point
     # ------------------------------------------------------------------
     def run(self) -> CampaignReport:
         scale = get_scale(self.scale_name)
@@ -321,39 +346,137 @@ class CampaignRunner:
             entry = self.manifest.entry(task.task_id)
             queue.append(_TaskState(task=task, attempts=entry.attempts))
         self.manifest.save()
+        mode = "isolated" if self.settings.isolate_tasks else "pool"
         self.progress(
             f"campaign: {len(tasks)} tasks, jobs={self.settings.jobs} "
-            f"(cpu_count={os.cpu_count() or 1})"
+            f"[{mode}] (cpu_count={os.cpu_count() or 1})"
         )
         if report.skipped:
             self.progress(f"resume: skipping {report.skipped} verified tasks")
 
+        if self.settings.isolate_tasks:
+            self._run_isolated(queue, report)
+        else:
+            self._run_pool(queue, report)
+
+        self._write_failure_report(report)
+        return report
+
+    def _stop_requested(self, report: CampaignReport) -> bool:
+        if (
+            self.stop_after is not None
+            and report.completed >= self.stop_after
+        ):
+            report.interrupted = True
+            return True
+        return False
+
+    def _wait_timeout(
+        self,
+        queue: List[_TaskState],
+        deadlines: List[float],
+        now: float,
+    ) -> float:
+        """Sleep no longer than the next scheduled event (bounded)."""
+        horizon = now + _WAIT_CAP
+        for state in queue:
+            if state.next_eligible > now:
+                horizon = min(horizon, state.next_eligible)
+        for deadline in deadlines:
+            horizon = min(horizon, deadline)
+        return max(0.01, horizon - now)
+
+    # ------------------------------------------------------------------
+    # isolated mode (one process per attempt)
+    # ------------------------------------------------------------------
+    def _launch(self, state: _TaskState) -> _Running:
+        attempt = state.attempts + 1
+        process = self._ctx.Process(
+            target=worker_entry, args=(self._payload(state, attempt),),
+            daemon=True,
+        )
+        process.start()
+        now = time.monotonic()
+        return _Running(
+            state=state,
+            process=process,
+            deadline=now + self.settings.task_timeout,
+            attempt=attempt,
+            started=now,
+        )
+
+    def _kill(self, process: multiprocessing.process.BaseProcess) -> None:
+        if process.is_alive():
+            process.terminate()
+            process.join(2.0)
+            if process.is_alive():  # pragma: no cover - stubborn child
+                process.kill()
+                process.join(2.0)
+
+    def _classify_exit(self, running: _Running, timed_out: bool) -> AttemptFailure:
+        task = running.state.task
+        if timed_out:
+            return AttemptFailure(
+                task.task_id,
+                running.attempt,
+                TIMEOUT,
+                f"exceeded {self.settings.task_timeout:g}s deadline",
+            )
+        exitcode = running.process.exitcode
+        if self._error_path(task, running.attempt).exists():
+            return self._error_failure(
+                running.state, running.attempt, f"worker exited {exitcode}"
+            )
+        if exitcode == 0:
+            # Exited cleanly but the result did not verify.
+            try:
+                verify_result(self._result_path(task), task.task_id)
+                raise AssertionError("classify called on verified result")
+            except CorruptResultError as exc:
+                return AttemptFailure(
+                    task.task_id, running.attempt, CORRUPT, exc.reason
+                )
+        return AttemptFailure(
+            task.task_id,
+            running.attempt,
+            CRASH,
+            f"worker died with exit code {exitcode}",
+        )
+
+    def _settle(
+        self, running: _Running, report: CampaignReport, timed_out: bool
+    ) -> Optional[_TaskState]:
+        state = running.state
+        state.attempts = running.attempt
+        state.tries_this_run += 1
+
+        if not timed_out and running.process.exitcode == 0:
+            failure = self._complete(
+                state, report, time.monotonic() - running.started
+            )
+            if failure is None:
+                return None
+        else:
+            failure = self._classify_exit(running, timed_out)
+        return self._fail_attempt(state, report, failure)
+
+    def _run_isolated(
+        self, queue: List[_TaskState], report: CampaignReport
+    ) -> None:
         running: Dict[int, _Running] = {}
         try:
             while queue or running:
-                if (
-                    self.stop_after is not None
-                    and report.completed >= self.stop_after
-                ):
-                    report.interrupted = True
+                if self._stop_requested(report):
                     break
-                now = time.monotonic()
-                # Launch every eligible task while worker slots are free.
-                index = 0
-                while index < len(queue) and len(running) < self.settings.jobs:
-                    if queue[index].next_eligible <= now:
-                        state = queue.pop(index)
-                        item = self._launch(state)
-                        running[item.process.pid] = item
-                    else:
-                        index += 1
-                # Settle finished and overdue workers.
+                # Settle finished and overdue workers first, so their
+                # slots free up for this iteration's launches (settling
+                # last would add a full wait timeout between tasks).
                 for pid in list(running):
                     item = running[pid]
                     timed_out = False
                     if item.process.is_alive():
                         if time.monotonic() >= item.deadline:
-                            self._kill(item)
+                            self._kill(item.process)
                             timed_out = True
                         else:
                             continue
@@ -362,13 +485,269 @@ class CampaignRunner:
                     requeue = self._settle(item, report, timed_out)
                     if requeue is not None:
                         queue.append(requeue)
-                time.sleep(0.02)
+                # Launch every eligible task while worker slots are free.
+                now = time.monotonic()
+                index = 0
+                while index < len(queue) and len(running) < self.settings.jobs:
+                    if queue[index].next_eligible <= now:
+                        state = queue.pop(index)
+                        item = self._launch(state)
+                        running[item.process.pid] = item
+                    else:
+                        index += 1
+                # Block until a child exits (its sentinel fires), a
+                # backoff releases, or a deadline nears.
+                sentinels = [item.process.sentinel for item in running.values()]
+                timeout = self._wait_timeout(
+                    queue,
+                    [item.deadline for item in running.values()],
+                    time.monotonic(),
+                )
+                if sentinels:
+                    multiprocessing.connection.wait(sentinels, timeout)
+                elif queue:
+                    time.sleep(timeout)
         finally:
             for item in running.values():
-                self._kill(item)
+                self._kill(item.process)
 
-        self._write_failure_report(report)
-        return report
+    # ------------------------------------------------------------------
+    # pool mode (persistent workers, batched dispatch)
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> _PoolWorker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=pool_worker_entry, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(process=process, conn=parent_conn)
+
+    def _retire_worker(self, worker: _PoolWorker, kill: bool = True) -> None:
+        if kill:
+            self._kill(worker.process)
+        worker.process.join()
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _dispatch(
+        self,
+        workers: List[_PoolWorker],
+        queue: List[_TaskState],
+        now: float,
+    ) -> None:
+        """Hand batches of eligible tasks to idle (spawning) workers."""
+        eligible = [s for s in queue if s.next_eligible <= now]
+        if not eligible:
+            return
+        for worker in workers:
+            if not eligible:
+                return
+            if not worker.idle or not worker.process.is_alive():
+                continue
+            self._assign(worker, eligible, queue, now)
+        while eligible and len(workers) < self.settings.jobs:
+            worker = self._spawn_worker()
+            workers.append(worker)
+            self._assign(worker, eligible, queue, now)
+
+    def _assign(
+        self,
+        worker: _PoolWorker,
+        eligible: List[_TaskState],
+        queue: List[_TaskState],
+        now: float,
+    ) -> None:
+        batch: List[_PoolTask] = []
+        payloads: List[str] = []
+        while eligible and len(batch) < max(1, self.settings.batch_size):
+            state = eligible.pop(0)
+            queue.remove(state)
+            attempt = state.attempts + 1
+            batch.append(_PoolTask(state=state, attempt=attempt))
+            payloads.append(self._payload(state, attempt))
+        try:
+            worker.conn.send(("run", payloads))
+        except (BrokenPipeError, OSError):
+            # Worker died between spawn and dispatch; requeue untouched
+            # (no attempt consumed) — the reaper collects the corpse.
+            for item in batch:
+                queue.append(item.state)
+            return
+        worker.assigned.extend(batch)
+        worker.deadline = now + self.settings.task_timeout
+
+    def _on_message(
+        self,
+        worker: _PoolWorker,
+        message,
+        queue: List[_TaskState],
+        report: CampaignReport,
+    ) -> None:
+        kind = message[0]
+        if kind == "start":
+            _, task_id, _worker_clock = message
+            for item in worker.assigned:
+                if item.state.task.task_id == task_id:
+                    item.started = True
+                    break
+            worker.deadline = time.monotonic() + self.settings.task_timeout
+            return
+        if kind != "done":  # pragma: no cover - protocol guard
+            return
+        _, task_id, status, elapsed = message
+        item = next(
+            (i for i in worker.assigned if i.state.task.task_id == task_id),
+            None,
+        )
+        if item is None:  # pragma: no cover - protocol guard
+            return
+        worker.assigned.remove(item)
+        worker.deadline = (
+            time.monotonic() + self.settings.task_timeout
+            if worker.assigned
+            else None
+        )
+        state = item.state
+        state.attempts = item.attempt
+        state.tries_this_run += 1
+        if status == "ok":
+            failure = self._complete(state, report, elapsed)
+        else:
+            failure = self._error_failure(
+                state, item.attempt, "worker task raised"
+            )
+        if failure is not None:
+            requeue = self._fail_attempt(state, report, failure)
+            if requeue is not None:
+                queue.append(requeue)
+
+    def _drain(
+        self,
+        worker: _PoolWorker,
+        queue: List[_TaskState],
+        report: CampaignReport,
+    ) -> None:
+        try:
+            while worker.conn.poll():
+                self._on_message(worker, worker.conn.recv(), queue, report)
+        except (EOFError, OSError):
+            pass  # death is settled by the reaper
+
+    def _fail_in_flight(
+        self,
+        worker: _PoolWorker,
+        queue: List[_TaskState],
+        report: CampaignReport,
+        kind: str,
+        detail: str,
+    ) -> None:
+        """Settle a dead/overdue worker's batch: charge started tasks,
+        requeue unstarted ones without consuming an attempt."""
+        for item in worker.assigned:
+            state = item.state
+            if not item.started:
+                queue.append(state)
+                continue
+            state.attempts = item.attempt
+            state.tries_this_run += 1
+            failure = AttemptFailure(
+                state.task.task_id, item.attempt, kind, detail
+            )
+            requeue = self._fail_attempt(state, report, failure)
+            if requeue is not None:
+                queue.append(requeue)
+        worker.assigned.clear()
+        worker.deadline = None
+
+    def _reap_dead(
+        self,
+        workers: List[_PoolWorker],
+        queue: List[_TaskState],
+        report: CampaignReport,
+    ) -> None:
+        for worker in list(workers):
+            if worker.process.is_alive():
+                continue
+            # Messages sent before death still count.
+            self._drain(worker, queue, report)
+            if worker.assigned:
+                exitcode = worker.process.exitcode
+                self._fail_in_flight(
+                    worker, queue, report,
+                    CRASH, f"pool worker died with exit code {exitcode}",
+                )
+            workers.remove(worker)
+            self._retire_worker(worker, kill=False)
+            report.worker_respawns += 1
+
+    def _enforce_deadlines(
+        self,
+        workers: List[_PoolWorker],
+        queue: List[_TaskState],
+        report: CampaignReport,
+        now: float,
+    ) -> None:
+        for worker in list(workers):
+            if worker.deadline is None or now < worker.deadline:
+                continue
+            self._drain(worker, queue, report)
+            if worker.deadline is None or time.monotonic() < worker.deadline:
+                continue  # progress arrived while draining
+            self._kill(worker.process)
+            self._fail_in_flight(
+                worker, queue, report,
+                TIMEOUT,
+                f"exceeded {self.settings.task_timeout:g}s deadline",
+            )
+            workers.remove(worker)
+            self._retire_worker(worker, kill=False)
+            report.worker_respawns += 1
+
+    def _run_pool(
+        self, queue: List[_TaskState], report: CampaignReport
+    ) -> None:
+        workers: List[_PoolWorker] = []
+        try:
+            while queue or any(w.assigned for w in workers):
+                if self._stop_requested(report):
+                    break
+                now = time.monotonic()
+                self._reap_dead(workers, queue, report)
+                self._enforce_deadlines(workers, queue, report, now)
+                self._dispatch(workers, queue, time.monotonic())
+                handles = [w.conn for w in workers] + [
+                    w.process.sentinel for w in workers
+                ]
+                timeout = self._wait_timeout(
+                    queue,
+                    [w.deadline for w in workers if w.deadline is not None],
+                    time.monotonic(),
+                )
+                if handles:
+                    ready = multiprocessing.connection.wait(handles, timeout)
+                else:
+                    time.sleep(timeout)
+                    ready = []
+                conns = {w.conn: w for w in workers}
+                for handle in ready:
+                    worker = conns.get(handle)
+                    if worker is not None:
+                        self._drain(worker, queue, report)
+        finally:
+            self._shutdown_pool(workers)
+
+    def _shutdown_pool(self, workers: List[_PoolWorker]) -> None:
+        for worker in workers:
+            try:
+                worker.conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(0.5)
+            self._retire_worker(worker)
 
     # ------------------------------------------------------------------
     def _write_failure_report(self, report: CampaignReport) -> None:

@@ -1,21 +1,39 @@
-"""The isolated campaign worker: one process, one task attempt.
+"""Campaign workers: isolated one-shot processes and persistent pools.
 
-Workers are real OS processes, so a segfault, OOM kill or runaway
-loop in one task can never take the scheduler or its siblings down.
-The contract with the scheduler is deliberately thin:
+Two execution modes share one attempt contract:
+
+* **isolated** (``worker_entry``) — one process per task attempt, the
+  PR 1 crash-containment model: a segfault, OOM kill or runaway loop
+  in one task can never take the scheduler or its siblings down;
+* **pooled** (``pool_worker_entry``) — a long-lived process that pulls
+  *batches* of task payloads over a pipe and keeps its trace, sidecar
+  and workload caches warm across tasks, so a policy matrix stops
+  paying a fresh interpreter + workload build per cell.  Crash
+  containment is unchanged — a dead pool worker is an event the
+  scheduler observes via its process sentinel, and the in-flight task
+  is requeued.
+
+The attempt contract in both modes:
 
 * the worker receives one JSON payload (task, scale, paths, chaos);
 * on success it writes the task's result *atomically* to
-  ``result_path`` and exits 0;
+  ``result_path`` (isolated: exits 0; pooled: reports ``ok``);
 * on a caught exception it writes a traceback record to
-  ``error_path`` (also atomically) and exits 1;
+  ``error_path`` (isolated: exits 1; pooled: reports ``error``);
 * anything else — a crash, a kill, a hang — is the scheduler's
   problem to detect from the outside.
 
+Pool workers speak a tiny message protocol over their pipe:
+``("run", [payload_json, ...])`` and ``("exit",)`` inbound;
+``("start", task_id, monotonic)`` — the heartbeat that arms the
+scheduler's per-task deadline — and ``("done", task_id, status,
+elapsed_seconds)`` outbound.
+
 Chaos injection runs *inside* the worker, exactly where real faults
-strike: a ``crash`` dies before any work, a ``timeout`` hangs past
-the scheduler's deadline, and a ``corrupt`` bypasses the atomic
-writer to leave a truncated result at the final path.
+strike: a ``crash`` dies before any work (killing the whole pool
+worker — that is the point), a ``timeout`` hangs past the scheduler's
+deadline, and a ``corrupt`` bypasses the atomic writer to leave a
+truncated result at the final path while reporting success.
 """
 
 from __future__ import annotations
@@ -51,7 +69,7 @@ def build_payload(
     hang_seconds: float = 3600.0,
     profile_dir: str = None,
 ) -> str:
-    """Serialise one attempt's instructions for ``worker_entry``."""
+    """Serialise one attempt's instructions for a worker."""
     return json.dumps(
         {
             "task_id": task_id,
@@ -68,14 +86,19 @@ def build_payload(
     )
 
 
-def _inject_chaos(payload: dict) -> None:
-    """Apply this attempt's (deterministic) injected fault, if any."""
+def _inject_chaos(payload: dict, in_pool: bool = False) -> bool:
+    """Apply this attempt's (deterministic) injected fault, if any.
+
+    Returns ``True`` when a corrupt result was planted and the caller
+    should report success *without* running the task (pool mode only;
+    isolated workers exit directly).
+    """
     if not payload.get("chaos"):
-        return
+        return False
     chaos = ChaosConfig.from_json(payload["chaos"])
     kind = chaos.decide(payload["task_id"], payload["attempt"])
     if kind is None:
-        return
+        return False
     if kind == CRASH_KIND:
         os._exit(CHAOS_CRASH_EXIT)
     elif kind == TIMEOUT_KIND:
@@ -85,17 +108,20 @@ def _inject_chaos(payload: dict) -> None:
         # A torn write: straight to the final path, no tmp+rename.
         with open(payload["result_path"], "wb") as fh:
             fh.write(CORRUPT_BYTES)
-        os._exit(0)
+        if not in_pool:
+            os._exit(0)
+        return True
+    return False
 
 
-def worker_entry(payload_json: str) -> None:
-    """Process entry point: run one task attempt and exit.
+def _execute_attempt(payload: dict) -> bool:
+    """Run one task attempt; write its result or error record.
 
-    Must stay importable at module top level so it survives both
-    ``fork`` and ``spawn`` multiprocessing start methods.
+    Returns ``True`` on a verified-writable success, ``False`` after
+    writing the traceback record.  Never exits the process — the
+    callers decide between ``os._exit`` (isolated) and reporting over
+    the pipe (pooled).
     """
-    payload = json.loads(payload_json)
-    _inject_chaos(payload)
     try:
         from ..experiments.campaign_tasks import run_campaign_task
 
@@ -130,6 +156,7 @@ def worker_entry(payload_json: str) -> None:
                 "result": result,
             },
         )
+        return True
     except BaseException:
         try:
             write_json_atomic(
@@ -140,6 +167,57 @@ def worker_entry(payload_json: str) -> None:
                     "traceback": traceback.format_exc(),
                 },
             )
-        finally:
-            os._exit(1)
-    os._exit(0)
+        except OSError:
+            pass  # the scheduler still classifies by the missing result
+        return False
+
+
+def worker_entry(payload_json: str) -> None:
+    """Isolated-mode entry point: run one task attempt and exit.
+
+    Must stay importable at module top level so it survives both
+    ``fork`` and ``spawn`` multiprocessing start methods.
+    """
+    payload = json.loads(payload_json)
+    _inject_chaos(payload)
+    os._exit(0 if _execute_attempt(payload) else 1)
+
+
+def pool_worker_entry(conn) -> None:
+    """Persistent-pool entry point: serve task batches until told to exit.
+
+    ``conn`` is the worker's end of a ``multiprocessing.Pipe``.  The
+    loop is deliberately trusting of nothing: a scheduler that died
+    (closed pipe) ends the worker, and any fault *inside* a task is
+    either contained by ``_execute_attempt`` or kills this process —
+    which the scheduler observes and recovers from.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if not message or message[0] == "exit":
+            break
+        if message[0] != "run":  # pragma: no cover - protocol guard
+            continue
+        for payload_json in message[1]:
+            payload = json.loads(payload_json)
+            started = time.monotonic()
+            try:
+                conn.send(("start", payload["task_id"], started))
+            except (BrokenPipeError, OSError):
+                return
+            corrupted = _inject_chaos(payload, in_pool=True)
+            ok = True if corrupted else _execute_attempt(payload)
+            elapsed = time.monotonic() - started
+            try:
+                conn.send(
+                    ("done", payload["task_id"], "ok" if ok else "error", elapsed)
+                )
+            except (BrokenPipeError, OSError):
+                return
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass

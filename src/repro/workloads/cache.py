@@ -18,16 +18,28 @@ waste without ever changing a byte of what the engine replays:
   named by the ``REPRO_TRACE_CACHE`` environment variable, keyed by a
   SHA-256 over every generator input plus :data:`GENERATOR_VERSION`.
   ``repro campaign`` points this at ``<campaign_dir>/trace_cache`` by
-  default so its worker *processes* share traces across tasks.
+  default so its worker *processes* share traces across tasks.  Cache
+  hits load through :func:`~repro.workloads.traceio.load_trace_mmap`,
+  so every worker mapping the same file shares one read-only copy of
+  the records via the OS page cache.
+
+Next to each cached trace lives a **compressed-size sidecar**
+(``<key>.sizes``): the per-address ``(compressed size, ECB size)``
+table the :class:`~repro.workloads.data.DataModel` would otherwise
+re-draw — one seeded PRNG per address, repeated by every policy cell
+of a campaign matrix replaying the same mix.  The sidecar is keyed by
+the *same* content hash as the trace (every draw input is a hash
+input) plus :data:`SIZES_VERSION`, and preloading it is
+observationally identical to drawing.
 
 Safety properties: cache files are written atomically (tmp +
 ``os.replace``), so concurrent workers race harmlessly — last writer
 wins with identical bytes; a corrupt or truncated entry fails
-:func:`~repro.workloads.traceio.load_trace` validation and is silently
-regenerated (a cache must never be able to poison results); and
-:data:`GENERATOR_VERSION` must be bumped whenever the generator's
-record stream changes, which orphans old entries instead of serving
-stale traces.
+validation and is silently regenerated (a cache must never be able to
+poison results); and :data:`GENERATOR_VERSION` /
+:data:`SIZES_VERSION` must be bumped whenever the generator's record
+stream or the data model's draw changes, which orphans old entries
+instead of serving stale data.
 """
 
 from __future__ import annotations
@@ -36,14 +48,15 @@ import dataclasses
 import hashlib
 import json
 import os
+import struct
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Optional, Sequence, Tuple, TypeVar
 
 from .generator import AppTraceGenerator
 from .profiles import AppProfile
 from .trace import MaterializedTrace, materialize
-from .traceio import TraceFormatError, load_trace, save_trace
+from .traceio import load_trace_mmap, save_trace
 
 #: Version of the synthetic generator's *output stream*.  Bump this
 #: whenever :mod:`repro.workloads.generator` changes the records it
@@ -96,9 +109,11 @@ def load_or_materialize(
     path = directory / f"{trace_cache_key(profile, core, seed, n_records)}.trc"
     if path.exists():
         try:
-            return load_trace(path)
-        except (TraceFormatError, OSError):
-            pass  # torn/corrupt entry: fall through and regenerate
+            return load_trace_mmap(path)
+        except (ValueError, OSError):
+            # torn/corrupt entry (TraceFormatError is a ValueError):
+            # fall through and regenerate
+            pass
 
     trace = materialize(AppTraceGenerator(profile, core, seed=seed), n_records)
     try:
@@ -109,6 +124,94 @@ def load_or_materialize(
     except OSError:
         pass  # an unwritable cache slows things down, never fails them
     return trace
+
+
+# ----------------------------------------------------------------------
+# compressed-size sidecars
+
+#: Version of the data model's size *draw*.  Bump whenever
+#: :mod:`repro.workloads.data` changes what ``(csize, ecb)`` a given
+#: (profile, seed, address) maps to — stale sidecars then stop
+#: validating instead of silently poisoning statistics.
+SIZES_VERSION = 1
+
+_SIZES_MAGIC = b"REPROSZC"
+_SIZES_HEADER = struct.Struct("<8sII")  # magic, version, entry count
+_SIZES_RECORD = struct.Struct("<QHH")   # block addr, csize, ecb size
+
+
+def sizes_sidecar_path(
+    directory: Path, profile: AppProfile, core: int, seed: int, n_records: int
+) -> Path:
+    """Sidecar path: same content-hash key as the trace, ``.sizes``."""
+    return directory / f"{trace_cache_key(profile, core, seed, n_records)}.sizes"
+
+
+def save_sizes_sidecar(
+    profile: AppProfile,
+    core: int,
+    seed: int,
+    n_records: int,
+    entries: Dict[int, Tuple[int, int]],
+) -> None:
+    """Persist an ``addr -> (csize, ecb)`` table next to its trace.
+
+    No-op when the disk cache is disabled or unwritable — sidecars are
+    an accelerator, never a requirement.  Entries are written sorted
+    by address so identical tables serialise to identical bytes.
+    """
+    directory = trace_cache_dir()
+    if directory is None:
+        return
+    path = sizes_sidecar_path(directory, profile, core, seed, n_records)
+    pack = _SIZES_RECORD.pack
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = directory / f".{path.name}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(_SIZES_HEADER.pack(_SIZES_MAGIC, SIZES_VERSION, len(entries)))
+            fh.write(
+                b"".join(
+                    pack(addr, csize, ecb)
+                    for addr, (csize, ecb) in sorted(entries.items())
+                )
+            )
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def load_sizes_sidecar(
+    profile: AppProfile, core: int, seed: int, n_records: int
+) -> Optional[Dict[int, Tuple[int, int]]]:
+    """The persisted size table for a trace, or ``None``.
+
+    Returns ``None`` when the disk cache is disabled, the sidecar is
+    missing, or it fails structural validation (bad magic/version, or
+    a declared entry count disagreeing with the bytes present) — the
+    caller then falls back to drawing sizes and re-persisting.
+    """
+    directory = trace_cache_dir()
+    if directory is None:
+        return None
+    path = sizes_sidecar_path(directory, profile, core, seed, n_records)
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return None
+    if len(blob) < _SIZES_HEADER.size:
+        return None
+    magic, version, count = _SIZES_HEADER.unpack_from(blob)
+    if magic != _SIZES_MAGIC or version != SIZES_VERSION:
+        return None
+    if len(blob) - _SIZES_HEADER.size != count * _SIZES_RECORD.size:
+        return None
+    return {
+        addr: (csize, ecb)
+        for addr, csize, ecb in _SIZES_RECORD.iter_unpack(
+            blob[_SIZES_HEADER.size:]
+        )
+    }
 
 
 WorkloadKey = Tuple[Tuple[AppProfile, ...], int, int]

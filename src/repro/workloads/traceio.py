@@ -21,15 +21,33 @@ offending file.  :func:`validate_trace` performs the same checks
 without materialising records, and :func:`file_sha256` is the
 content-hash helper the campaign checkpoint layer
 (:mod:`repro.harness.checkpoint`) reuses for result integrity.
+
+Two loaders share the validation path:
+
+* :func:`load_trace` — the portable ``struct`` decoder, which copies
+  every record into fresh ``array`` columns;
+* :func:`load_trace_mmap` — a zero-copy loader that ``mmap``\\ s the
+  record region and exposes the gap/addr/write columns as strided
+  NumPy views straight over the page cache.  Forked campaign workers
+  mapping the same cache file then *share* the read-only pages
+  instead of each materialising a private copy.  Falls back to
+  :func:`load_trace` when NumPy is unavailable.
 """
 
 from __future__ import annotations
 
 import hashlib
 import io
+import mmap
+import os
 import struct
 from pathlib import Path
-from typing import List, Tuple, Union
+from typing import Dict, List, Tuple, Union
+
+try:  # optional: only the zero-copy loader needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _np = None
 
 from .trace import MaterializedTrace, TraceRecord
 
@@ -37,6 +55,13 @@ _MAGIC = b"REPROTRC"
 _VERSION = 1
 _HEADER = struct.Struct("<8sII")   # magic, version, record count
 _RECORD = struct.Struct("<IQB")    # gap, block addr, is_write
+
+#: NumPy mirror of ``_RECORD``: packed (itemsize 13), little-endian.
+_RECORD_DTYPE = (
+    _np.dtype([("gap", "<u4"), ("addr", "<u8"), ("write", "u1")])
+    if _np is not None
+    else None
+)
 
 PathLike = Union[str, Path]
 
@@ -65,6 +90,38 @@ def file_sha256(path: PathLike, chunk_size: int = 1 << 20) -> str:
                 break
             digest.update(chunk)
     return digest.hexdigest()
+
+
+#: ``path -> (size, mtime_ns, digest)`` memo behind
+#: :func:`file_sha256_cached`; bounded so a huge campaign cannot grow
+#: it without limit.
+_SHA256_CACHE: Dict[str, Tuple[int, int, str]] = {}
+_SHA256_CACHE_MAX = 65536
+
+
+def file_sha256_cached(path: PathLike) -> str:
+    """:func:`file_sha256` memoized by ``(path, size, mtime_ns)``.
+
+    Resuming a large campaign re-verifies every completed artefact;
+    re-hashing gigabytes of unchanged results dominates that startup.
+    A file whose size *and* mtime (nanosecond resolution) are unchanged
+    since the last hash is served from the memo; any stat change
+    invalidates the entry and re-hashes.
+    """
+    key = os.fspath(path)
+    stat = os.stat(key)
+    entry = _SHA256_CACHE.get(key)
+    if (
+        entry is not None
+        and entry[0] == stat.st_size
+        and entry[1] == stat.st_mtime_ns
+    ):
+        return entry[2]
+    digest = file_sha256(key)
+    if len(_SHA256_CACHE) >= _SHA256_CACHE_MAX:
+        _SHA256_CACHE.clear()
+    _SHA256_CACHE[key] = (stat.st_size, stat.st_mtime_ns, digest)
+    return digest
 
 
 def _validate_header(path: PathLike, header: bytes) -> Tuple[int, int]:
@@ -140,6 +197,38 @@ def load_trace(path: PathLike) -> MaterializedTrace:
     except struct.error as exc:  # pragma: no cover - size already checked
         raise TraceFormatError(path, f"undecodable record: {exc}") from None
     return MaterializedTrace.from_columns(gaps, addrs, writes)
+
+
+def load_trace_mmap(path: PathLike) -> MaterializedTrace:
+    """Read a binary ``.trc`` trace zero-copy via ``mmap``.
+
+    Validates exactly like :func:`load_trace`, then maps the record
+    region read-only and adopts strided NumPy column views over the
+    mapping — no per-record ``struct`` unpacking, no private copy of
+    the payload.  Every process mapping the same cache file shares the
+    OS page cache, so a fleet of forked workers replaying one trace
+    holds it in physical memory *once*.
+
+    The returned trace's columns index and iterate like the ``array``
+    columns of :func:`load_trace` and convert to the identical Python
+    lists in ``replay_columns`` — byte-identical statistics are gated
+    by the golden-digest suite.
+    """
+    if _np is None:  # pragma: no cover - numpy is baked into the image
+        return load_trace(path)
+    _, count = validate_trace(path)
+    if count == 0:
+        raise ValueError("empty trace")
+    with open(path, "rb") as fh:
+        mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    view = _np.frombuffer(
+        mapped, dtype=_RECORD_DTYPE, count=count, offset=_HEADER.size
+    )
+    # The column views hold a reference to ``view`` (and transitively
+    # the mmap), so the mapping lives exactly as long as the trace.
+    return MaterializedTrace.from_columns(
+        view["gap"], view["addr"], view["write"]
+    )
 
 
 def save_trace_csv(trace: MaterializedTrace, path: PathLike) -> None:

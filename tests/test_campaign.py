@@ -184,6 +184,83 @@ def test_worker_exception_is_captured_in_failure_report(tmp_path):
     assert failures["failed_tasks"][0]["task_id"] == "tables/table=table99"
 
 
+def test_isolated_mode_is_byte_identical_to_pool(tmp_path, reference_campaign):
+    """--isolate-tasks (one process per attempt) and the default
+    persistent pool must produce the same campaign bytes."""
+    directory = tmp_path / "isolated"
+    report = run_campaign(
+        directory,
+        scale="smoke",
+        experiments=["tables"],
+        settings=CampaignSettings(
+            jobs=2, task_timeout=60, retries=2, backoff_base=0.01,
+            isolate_tasks=True,
+        ),
+    )
+    assert report.ok
+    assert result_bytes(directory) == result_bytes(reference_campaign)
+    # both modes record a duration per completed task
+    manifest = CampaignManifest.load(directory)
+    assert set(report.durations) == set(manifest.tasks)
+    assert all(seconds > 0 for seconds in report.durations.values())
+
+
+def test_pool_worker_crash_loses_nothing(tmp_path, reference_campaign):
+    """Chaos kills persistent workers mid-batch; the scheduler must
+    respawn them and finish with results byte-identical to a calm run
+    — no task lost, none duplicated."""
+    directory = tmp_path / "pool_crash"
+    report = run_campaign(
+        directory,
+        scale="smoke",
+        experiments=["tables"],
+        settings=CampaignSettings(
+            jobs=2, task_timeout=60, retries=8, backoff_base=0.01,
+            chaos=ChaosConfig(p=0.5, kinds=("crash",), seed=9),
+        ),
+    )
+    assert report.ok
+    assert report.worker_respawns > 0, "the chaos seed must kill workers"
+    assert result_bytes(directory) == result_bytes(reference_campaign)
+    manifest = CampaignManifest.load(directory)
+    assert set(report.durations) == set(manifest.tasks)
+
+
+def test_pool_corrupt_results_are_caught_and_retried(
+    tmp_path, reference_campaign
+):
+    """A pool worker reporting success over a torn result must be
+    caught by verification, not trusted."""
+    directory = tmp_path / "pool_corrupt"
+    report = run_campaign(
+        directory,
+        scale="smoke",
+        experiments=["tables"],
+        settings=CampaignSettings(
+            jobs=2, task_timeout=60, retries=8, backoff_base=0.01,
+            chaos=ChaosConfig(p=0.5, kinds=("corrupt",), seed=3),
+        ),
+    )
+    assert report.ok
+    assert report.retried_attempts > 0, "the chaos seed must tear results"
+    assert result_bytes(directory) == result_bytes(reference_campaign)
+
+
+def test_pool_batched_dispatch_is_byte_identical(tmp_path, reference_campaign):
+    directory = tmp_path / "batched"
+    report = run_campaign(
+        directory,
+        scale="smoke",
+        experiments=["tables"],
+        settings=CampaignSettings(
+            jobs=1, task_timeout=60, retries=0, backoff_base=0.01,
+            batch_size=4,
+        ),
+    )
+    assert report.ok
+    assert result_bytes(directory) == result_bytes(reference_campaign)
+
+
 def test_smoke_campaign_with_chaos_loses_nothing(tmp_path, capsys):
     """Tier-1 acceptance: chaos at p=0.3 with crash/timeout/corrupt on a
     two-experiment smoke campaign completes with zero lost tasks."""

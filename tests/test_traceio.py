@@ -184,3 +184,129 @@ def test_file_sha256_matches_hashlib(tmp_path):
     path = tmp_path / "blob.bin"
     path.write_bytes(b"x" * 100_000)
     assert file_sha256(path) == hashlib.sha256(b"x" * 100_000).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# stat-keyed sha256 memo
+
+def test_file_sha256_cached_hashes_once_per_stat(tmp_path, monkeypatch):
+    import repro.workloads.traceio as traceio
+
+    path = tmp_path / "blob.bin"
+    path.write_bytes(b"a" * 1000)
+    expected = traceio.file_sha256(path)
+
+    calls = []
+    real = traceio.file_sha256
+
+    def counting(p):
+        calls.append(p)
+        return real(p)
+
+    monkeypatch.setattr(traceio, "file_sha256", counting)
+    assert traceio.file_sha256_cached(path) == expected
+    assert traceio.file_sha256_cached(path) == expected
+    assert len(calls) == 1, "second lookup must come from the memo"
+
+
+def test_file_sha256_cached_invalidates_on_change(tmp_path):
+    import os
+
+    from repro.workloads.traceio import file_sha256, file_sha256_cached
+
+    path = tmp_path / "blob.bin"
+    path.write_bytes(b"before")
+    assert file_sha256_cached(path) == file_sha256(path)
+
+    # same size, different bytes: the mtime_ns change must invalidate
+    path.write_bytes(b"after!")
+    os.utime(path)  # ensure a strictly newer timestamp either way
+    assert file_sha256_cached(path) == file_sha256(path)
+
+    # different size invalidates too
+    path.write_bytes(b"a much longer blob")
+    assert file_sha256_cached(path) == file_sha256(path)
+
+
+def test_file_sha256_cached_missing_file_raises(tmp_path):
+    from repro.workloads.traceio import file_sha256_cached
+
+    with pytest.raises(OSError):
+        file_sha256_cached(tmp_path / "nope.bin")
+
+
+# ----------------------------------------------------------------------
+# zero-copy mmap loader
+
+def test_mmap_loader_equivalent_to_struct_loader(tmp_path):
+    from repro.workloads.traceio import load_trace_mmap
+
+    trace = sample_trace(500)
+    path = tmp_path / "t.trc"
+    save_trace(trace, path)
+    struct_loaded = load_trace(path)
+    mmap_loaded = load_trace_mmap(path)
+    assert len(mmap_loaded) == len(struct_loaded)
+    assert mmap_loaded.records == struct_loaded.records
+    # the replay view the engine indexes must be native Python ints
+    gaps, addrs, writes = mmap_loaded.replay_columns()
+    assert type(gaps[0]) is int and type(addrs[0]) is int
+    assert type(writes[0]) is bool
+    assert (gaps, addrs, writes) == struct_loaded.replay_columns()
+
+
+def test_mmap_loader_rejects_what_struct_loader_rejects(tmp_path):
+    import struct
+
+    from repro.workloads.traceio import TraceFormatError, load_trace_mmap
+
+    garbage = tmp_path / "bad.trc"
+    garbage.write_bytes(b"NOTATRACE" + b"\x00" * 32)
+    with pytest.raises(TraceFormatError, match="not a repro trace"):
+        load_trace_mmap(garbage)
+
+    short = tmp_path / "short.trc"
+    short.write_bytes(b"RE")
+    with pytest.raises(TraceFormatError, match="truncated header"):
+        load_trace_mmap(short)
+
+    trace = sample_trace(10)
+    truncated = tmp_path / "trunc.trc"
+    save_trace(trace, truncated)
+    truncated.write_bytes(truncated.read_bytes()[:-5])
+    with pytest.raises(TraceFormatError, match="truncated"):
+        load_trace_mmap(truncated)
+
+    wrong_version = tmp_path / "v9.trc"
+    wrong_version.write_bytes(struct.pack("<8sII", b"REPROTRC", 9, 0))
+    with pytest.raises(TraceFormatError, match="unsupported version"):
+        load_trace_mmap(wrong_version)
+
+
+def test_mmap_loaded_trace_drives_simulation_identically(tmp_path):
+    """Digest-level equivalence: an mmap-loaded workload produces the
+    same simulation statistics as the in-memory one, bit for bit."""
+    from repro.bench.golden import simulation_digest
+    from repro.core import make_policy
+    from repro.engine import Simulation, Workload
+    from repro.experiments.common import SMOKE
+    from repro.workloads.mixes import mix_profiles
+    from repro.workloads.traceio import load_trace_mmap
+
+    # Built directly (not via SMOKE.workload) so the two workloads are
+    # distinct objects — the shared cache would alias them.
+    profiles = [p.scaled(SMOKE.factor) for p in mix_profiles("mix1")]
+    records = SMOKE.trace_records_per_core
+    workload = Workload(profiles, seed=0, trace_records_per_core=records)
+    paths = []
+    for i, trace in enumerate(workload.traces):
+        path = tmp_path / f"core{i}.trc"
+        save_trace(trace, path)
+        paths.append(path)
+    reloaded = Workload(profiles, seed=0, trace_records_per_core=records)
+    reloaded.traces = [load_trace_mmap(p) for p in paths]
+
+    epoch = SMOKE.system().dueling.epoch_cycles
+    r1 = Simulation(SMOKE.system(), make_policy("cp_sd"), workload).run(epoch, 0)
+    r2 = Simulation(SMOKE.system(), make_policy("cp_sd"), reloaded).run(epoch, 0)
+    assert simulation_digest(r1) == simulation_digest(r2)
