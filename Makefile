@@ -1,6 +1,6 @@
 # Convenience targets; scripts/ci.sh is the canonical gate.
 
-.PHONY: ci test bench bench-parallel
+.PHONY: ci test bench bench-parallel bench-memo
 
 ci:
 	scripts/ci.sh
@@ -16,3 +16,12 @@ bench:
 # Campaign scaling bench (pool vs isolated, jobs sweep).
 bench-parallel:
 	PYTHONPATH=src python -m repro bench --jobs auto
+
+# Memoization bench: cold vs cache-served campaign (verified
+# byte-identical) + snapshot warm-start, gated against the committed
+# artefact.  Wall-clock ratios of the tiny warm pass are noisy, hence
+# the generous threshold; correctness is asserted inside the bench.
+bench-memo:
+	PYTHONPATH=src python -m repro bench --memo --scale smoke \
+		--out $$(mktemp -d) \
+		--baseline benchmarks/results/BENCH_memo.json --threshold 0.5

@@ -15,10 +15,12 @@ cd "$(dirname "$0")/.."
 
 RUN_TESTS=1
 RUN_BENCH=1
+RUN_MEMO=1
 for arg in "$@"; do
   case "$arg" in
     --skip-tests) RUN_TESTS=0 ;;
     --skip-bench) RUN_BENCH=0 ;;
+    --skip-memo) RUN_MEMO=0 ;;
     *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -43,6 +45,18 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     --out "$BENCH_OUT" \
     --baseline benchmarks/results/BENCH_engine.json \
     --threshold 0.25
+fi
+
+if [[ "$RUN_MEMO" == 1 ]]; then
+  echo "== ci: memoization correctness smoke =="
+  # `bench --memo` runs a reduced campaign twice against one result
+  # cache and *raises* unless the second pass is served entirely from
+  # cache with byte-identical results (and the snapshot warm-start is
+  # digest-identical) — so this leg is a correctness gate, not a
+  # timing one; no baseline comparison needed here.
+  MEMO_OUT="$(mktemp -d)"
+  trap 'rm -rf "${BENCH_OUT:-}" "$MEMO_OUT"' EXIT
+  python -m repro bench --memo --scale smoke --out "$MEMO_OUT"
 fi
 
 echo "== ci: OK =="

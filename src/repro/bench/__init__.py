@@ -23,6 +23,7 @@ from .compare import (
     load_bench,
 )
 from .golden import GOLDEN_MIX, GOLDEN_POLICIES, compute_golden_digests, simulation_digest
+from .memo import MemoBenchError, run_memo_bench
 from .parallel import run_parallel_bench
 from .runner import BENCH_SCHEMA, BenchMatrix, run_bench, write_bench
 
@@ -33,6 +34,7 @@ __all__ = [
     "CaseComparison",
     "GOLDEN_MIX",
     "GOLDEN_POLICIES",
+    "MemoBenchError",
     "STATUS_IMPROVEMENT",
     "STATUS_MISSING_BASELINE",
     "STATUS_OK",
@@ -41,6 +43,7 @@ __all__ = [
     "compute_golden_digests",
     "load_bench",
     "run_bench",
+    "run_memo_bench",
     "run_parallel_bench",
     "simulation_digest",
     "write_bench",

@@ -1,10 +1,26 @@
 """One set of the hybrid LLC: tags, per-way state, recency order.
 
 Ways ``0 .. sram_ways-1`` are SRAM frames, ways ``sram_ways ..
-total_ways-1`` are NVM frames.  A single recency list per set supports
+total_ways-1`` are NVM frames.  A single recency order per set supports
 both the global LRU of BH/BH_CP and the per-part local LRU of the
 NVM-aware policies (a local LRU is the global order filtered to one
 part, which is exactly how the replacement helpers consume it).
+
+The order is kept in an array-backed doubly-linked list rather than a
+Python list: the old representation paid ``list.remove`` — an O(ways)
+scan plus an O(ways) element shift — on every hit promotion and every
+eviction.  The linked list does the same mutations with a constant
+number of array reads/writes, while yielding the *identical* LRU→MRU
+sequence (``tests/test_cacheset_replacement.py`` pins the two
+representations against each other, and the golden digests pin the
+whole engine).
+
+Representation: ``rec_next[w]`` / ``rec_prev[w]`` link way ``w`` into a
+circular list through a sentinel slot at index ``total_ways``.
+``rec_next[sentinel]`` is the LRU way, ``rec_prev[sentinel]`` the MRU
+way; an empty set links the sentinel to itself.  A way is linked iff
+its frame holds a block.  Hot paths (``llc.py`` / ``hierarchy.py``)
+inline the link/unlink sequences directly on the two arrays.
 """
 
 from __future__ import annotations
@@ -30,7 +46,8 @@ class CacheSet:
         "csize",
         "ecb",
         "reuse",
-        "recency",
+        "rec_prev",
+        "rec_next",
         "way_of",
         "free_sram",
         "free_nvm",
@@ -46,7 +63,10 @@ class CacheSet:
         self.csize: List[int] = [0] * n      # compressed size of the resident block
         self.ecb: List[int] = [0] * n        # bytes occupied in the frame
         self.reuse: List[ReuseClass] = [ReuseClass.NONE] * n
-        self.recency: List[int] = []         # valid ways, LRU first, MRU last
+        # Doubly-linked recency order (LRU -> MRU) through the sentinel
+        # slot ``n``; only valid ways are linked.
+        self.rec_prev: List[int] = [n] * (n + 1)
+        self.rec_next: List[int] = [n] * (n + 1)
         self.way_of = {}                     # addr -> way
         # Count of *empty* frames per part (disabled NVM frames still
         # count — they hold no block).  Lets the fill path skip the
@@ -77,15 +97,42 @@ class CacheSet:
 
     def touch(self, way: int) -> None:
         """Move a way to MRU position."""
-        recency = self.recency
-        if recency and recency[-1] == way:
-            return
-        recency.remove(way)
-        recency.append(way)
+        nxt = self.rec_next
+        sentinel = self.total_ways
+        if nxt[way] == sentinel:
+            return  # already MRU (a linked way pointing at the sentinel)
+        prv = self.rec_prev
+        # unlink
+        before, after = prv[way], nxt[way]
+        nxt[before] = after
+        prv[after] = before
+        # relink before the sentinel (MRU position)
+        mru = prv[sentinel]
+        nxt[mru] = way
+        prv[way] = mru
+        nxt[way] = sentinel
+        prv[sentinel] = way
+
+    @property
+    def recency(self) -> List[int]:
+        """Valid ways from LRU to MRU (a fresh read-only list).
+
+        Kept as a property for tests, debugging and cold paths; the
+        authoritative order lives in ``rec_prev``/``rec_next``.
+        Mutating the returned list does nothing.
+        """
+        return self.lru_order()
 
     def lru_order(self) -> List[int]:
-        """Valid ways from LRU to MRU (read-only)."""
-        return self.recency
+        """Valid ways from LRU to MRU (freshly materialised)."""
+        nxt = self.rec_next
+        sentinel = self.total_ways
+        order = []
+        way = nxt[sentinel]
+        while way != sentinel:
+            order.append(way)
+            way = nxt[way]
+        return order
 
     # ------------------------------------------------------------------
     def insert(
@@ -105,7 +152,14 @@ class CacheSet:
         self.csize[way] = csize
         self.ecb[way] = ecb
         self.reuse[way] = reuse
-        self.recency.append(way)
+        prv = self.rec_prev
+        nxt = self.rec_next
+        sentinel = self.total_ways
+        mru = prv[sentinel]
+        nxt[mru] = way
+        prv[way] = mru
+        nxt[way] = sentinel
+        prv[sentinel] = way
         self.way_of[addr] = way
         if way < self.sram_ways:
             self.free_sram -= 1
@@ -123,7 +177,11 @@ class CacheSet:
         self.csize[way] = 0
         self.ecb[way] = 0
         self.reuse[way] = ReuseClass.NONE
-        self.recency.remove(way)
+        prv = self.rec_prev
+        nxt = self.rec_next
+        before, after = prv[way], nxt[way]
+        nxt[before] = after
+        prv[after] = before
         del self.way_of[addr]
         if way < self.sram_ways:
             self.free_sram += 1
@@ -132,10 +190,29 @@ class CacheSet:
         return info
 
     def invalid_way(self, part: int) -> Optional[int]:
-        for way in self.ways_of_part(part):
-            if self.tags[way] is None:
+        """First empty frame of a part (free counters early-out the scan)."""
+        if part == SRAM:
+            if not self.free_sram:
+                return None
+            if self.free_sram == self.sram_ways:
+                return 0
+            tags = self.tags
+            for way in range(0, self.sram_ways):
+                if tags[way] is None:
+                    return way
+            return None
+        if not self.free_nvm:
+            return None
+        if self.free_nvm == self.total_ways - self.sram_ways:
+            return self.sram_ways
+        tags = self.tags
+        for way in range(self.sram_ways, self.total_ways):
+            if tags[way] is None:
                 return way
         return None
 
     def occupancy(self, part: int) -> int:
-        return sum(1 for way in self.ways_of_part(part) if self.tags[way] is not None)
+        """Valid blocks in a part — from the free counters, no scan."""
+        if part == SRAM:
+            return self.sram_ways - self.free_sram
+        return (self.total_ways - self.sram_ways) - self.free_nvm

@@ -205,7 +205,12 @@ class MemoryHierarchy:
                 cache_set.csize[way] = 0
                 cache_set.ecb[way] = 0
                 cache_set.reuse[way] = _NONE
-                cache_set.recency.remove(way)
+                # Inlined recency unlink (CacheSet.evict's link surgery).
+                prv = cache_set.rec_prev
+                nxt = cache_set.rec_next
+                before, after = prv[way], nxt[way]
+                nxt[before] = after
+                prv[after] = before
                 del cache_set.way_of[addr]
                 if in_sram:
                     cache_set.free_sram += 1
@@ -221,10 +226,19 @@ class MemoryHierarchy:
                 llc_stats.gets_hits += 1
                 if on_hit is not None:
                     on_hit(cache_set, way, False)
-                recency = cache_set.recency
-                if recency[-1] != way:
-                    recency.remove(way)
-                    recency.append(way)
+                # Inlined CacheSet.touch: promote to MRU unless there.
+                nxt = cache_set.rec_next
+                sentinel = cache_set.total_ways
+                if nxt[way] != sentinel:
+                    prv = cache_set.rec_prev
+                    before, after = prv[way], nxt[way]
+                    nxt[before] = after
+                    prv[after] = before
+                    mru = prv[sentinel]
+                    nxt[mru] = way
+                    prv[way] = mru
+                    nxt[way] = sentinel
+                    prv[sentinel] = way
                 l2_dirty = False
             core_stats.llc_hits += 1
         else:
@@ -283,10 +297,19 @@ class MemoryHierarchy:
                     llc_stats.updates_in_place += 1
                 else:
                     llc_stats.silent_drops += 1
-                recency = cache_set.recency
-                if recency[-1] != way:
-                    recency.remove(way)
-                    recency.append(way)
+                # Inlined CacheSet.touch.
+                nxt = cache_set.rec_next
+                sentinel = cache_set.total_ways
+                if nxt[way] != sentinel:
+                    prv = cache_set.rec_prev
+                    before, after = prv[way], nxt[way]
+                    nxt[before] = after
+                    prv[after] = before
+                    mru = prv[sentinel]
+                    nxt[mru] = way
+                    prv[way] = mru
+                    nxt[way] = sentinel
+                    prv[sentinel] = way
             else:
                 meta = self.meta._table.get(v_addr)
                 reuse = meta.reuse if meta is not None else _NONE
@@ -396,10 +419,19 @@ class MemoryHierarchy:
                     llc_stats.updates_in_place += 1
                 else:
                     llc_stats.silent_drops += 1
-                recency = cache_set.recency
-                if recency[-1] != way:
-                    recency.remove(way)
-                    recency.append(way)
+                # Inlined CacheSet.touch.
+                nxt = cache_set.rec_next
+                sentinel = cache_set.total_ways
+                if nxt[way] != sentinel:
+                    prv = cache_set.rec_prev
+                    before, after = prv[way], nxt[way]
+                    nxt[before] = after
+                    prv[after] = before
+                    mru = prv[sentinel]
+                    nxt[mru] = way
+                    prv[way] = mru
+                    nxt[way] = sentinel
+                    prv[sentinel] = way
                 return
             meta = self.meta._table.get(v_addr)
             reuse = meta.reuse if meta is not None else _NONE

@@ -193,17 +193,31 @@ class HybridLLC:
             cache_set.csize[way] = 0
             cache_set.ecb[way] = 0
             cache_set.reuse[way] = ReuseClass.NONE
-            cache_set.recency.remove(way)
+            # Inlined recency unlink (CacheSet.evict's link surgery).
+            prv = cache_set.rec_prev
+            nxt = cache_set.rec_next
+            before, after = prv[way], nxt[way]
+            nxt[before] = after
+            prv[after] = before
             del cache_set.way_of[addr]
             if part == SRAM:
                 cache_set.free_sram += 1
             else:
                 cache_set.free_nvm += 1
             return RequestResult(True, part, copy_dirty, True)
-        recency = cache_set.recency
-        if recency[-1] != way:
-            recency.remove(way)
-            recency.append(way)
+        # Inlined CacheSet.touch: promote to MRU unless already there.
+        nxt = cache_set.rec_next
+        sentinel = cache_set.total_ways
+        if nxt[way] != sentinel:
+            prv = cache_set.rec_prev
+            before, after = prv[way], nxt[way]
+            nxt[before] = after
+            prv[after] = before
+            mru = prv[sentinel]
+            nxt[mru] = way
+            prv[way] = mru
+            nxt[way] = sentinel
+            prv[sentinel] = way
         return RequestResult(True, part, copy_dirty, False)
 
     def upgrade(self, addr: int, meta_table: MetadataTable) -> bool:
@@ -238,10 +252,19 @@ class HybridLLC:
                 stats.updates_in_place += 1
             else:
                 stats.silent_drops += 1
-            recency = cache_set.recency
-            if recency[-1] != way:
-                recency.remove(way)
-                recency.append(way)
+            # Inlined CacheSet.touch.
+            nxt = cache_set.rec_next
+            sentinel = cache_set.total_ways
+            if nxt[way] != sentinel:
+                prv = cache_set.rec_prev
+                before, after = prv[way], nxt[way]
+                nxt[before] = after
+                prv[after] = before
+                mru = prv[sentinel]
+                nxt[mru] = way
+                prv[way] = mru
+                nxt[way] = sentinel
+                prv[sentinel] = way
             return
 
         meta = meta_table._table.get(addr)
@@ -301,17 +324,20 @@ class HybridLLC:
             if way is None:
                 if self._default_victim:
                     # Inlined InsertionPolicy.choose_victim: (fit-)LRU
-                    # over the recency order, restricted to the part.
-                    recency = cache_set.recency
+                    # walk of the linked recency order (LRU -> MRU),
+                    # restricted to the part.
+                    nxt = cache_set.rec_next
+                    w = nxt[total_ways]
                     if part == SRAM:
-                        for w in recency:
+                        while w != total_ways:
                             if w < sram_ways:
                                 way = w
                                 break
+                            w = nxt[w]
                     elif part == GLOBAL:
                         block_size = self.block_size
                         row = self.faultmap.rows[cache_set.index]
-                        for w in recency:
+                        while w != total_ways:
                             cap = (
                                 block_size if w < sram_ways
                                 else row[w - sram_ways]
@@ -319,12 +345,14 @@ class HybridLLC:
                             if cap >= ecb:
                                 way = w
                                 break
+                            w = nxt[w]
                     else:
                         row = self.faultmap.rows[cache_set.index]
-                        for w in recency:
+                        while w != total_ways:
                             if w >= sram_ways and row[w - sram_ways] >= ecb:
                                 way = w
                                 break
+                            w = nxt[w]
                 else:
                     way = self.policy.choose_victim(cache_set, part, ctx)
                 if way is None:
@@ -351,7 +379,12 @@ class HybridLLC:
                 cache_set.csize[way] = 0
                 cache_set.ecb[way] = 0
                 cache_set.reuse[way] = ReuseClass.NONE
-                cache_set.recency.remove(way)
+                # Inlined recency unlink.
+                prv = cache_set.rec_prev
+                nxt = cache_set.rec_next
+                before, after = prv[way], nxt[way]
+                nxt[before] = after
+                prv[after] = before
                 del cache_set.way_of[v_addr]
                 if v_in_sram:
                     cache_set.free_sram += 1
@@ -371,7 +404,14 @@ class HybridLLC:
             cache_set.csize[way] = ctx.csize
             cache_set.ecb[way] = ecb
             cache_set.reuse[way] = ctx.reuse
-            cache_set.recency.append(way)
+            # Inlined recency link at MRU (before the sentinel).
+            prv = cache_set.rec_prev
+            nxt = cache_set.rec_next
+            mru = prv[total_ways]
+            nxt[mru] = way
+            prv[way] = mru
+            nxt[way] = total_ways
+            prv[total_ways] = way
             cache_set.way_of[ctx.addr] = way
             # Inlined _charge_write + fill-side counters.
             if way < sram_ways:

@@ -45,9 +45,22 @@ def usable_invalid_way(
     ecb_size: int,
     capacity_of: CapacityFn,
 ) -> Optional[int]:
-    """First empty frame of a part with enough live bytes."""
+    """First empty frame of a part with enough live bytes.
+
+    The per-part free counters early-out full parts (the steady state)
+    without touching the tag array; SRAM frames all share one capacity,
+    so that part delegates to :meth:`CacheSet.invalid_way` outright.
+    """
+    if part == SRAM:
+        way = cache_set.invalid_way(SRAM)
+        if way is None or capacity_of(cache_set, way) < ecb_size:
+            return None
+        return way
+    if not cache_set.free_nvm:
+        return None
+    tags = cache_set.tags
     for way in cache_set.ways_of_part(part):
-        if cache_set.tags[way] is None and capacity_of(cache_set, way) >= ecb_size:
+        if tags[way] is None and capacity_of(cache_set, way) >= ecb_size:
             return way
     return None
 

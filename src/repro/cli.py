@@ -265,6 +265,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         chaos=chaos,
         profile_dir=args.profile,
         isolate_tasks=args.isolate_tasks,
+        use_result_cache=not args.no_result_cache,
+        result_cache_dir=args.result_cache,
     )
 
     if args.resume:
@@ -287,9 +289,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     import os
     from pathlib import Path
 
+    from .memo.results import RESULT_CACHE_ENV
     from .workloads.cache import TRACE_CACHE_ENV
 
     os.environ.setdefault(TRACE_CACHE_ENV, str(Path(directory) / "trace_cache"))
+    # Same idea for completed unit results: default the result cache to
+    # a sibling of the trace cache so re-running or widening a campaign
+    # at the same path re-pays only never-computed units.
+    if not args.no_result_cache:
+        os.environ.setdefault(
+            RESULT_CACHE_ENV, str(Path(directory) / "result_cache")
+        )
 
     try:
         runner = CampaignRunner(
@@ -305,10 +315,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     report = runner.run()
 
     status = "OK" if report.ok else "INCOMPLETE"
+    cache_note = (
+        f", {report.cache_hits} served from result cache"
+        if report.cache_hits
+        else ""
+    )
     print(
         f"campaign {status}: {report.completed} completed, "
         f"{report.skipped} skipped (verified), {len(report.failed)} failed, "
-        f"{report.retried_attempts} attempts retried"
+        f"{report.retried_attempts} attempts retried{cache_note}"
     )
     for failed in report.failed:
         last = failed.failures[-1] if failed.failures else None
@@ -328,6 +343,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     scale = _resolve_scale(args.scale)
+
+    if args.memo:
+        from .bench.memo import MemoBenchError, run_memo_bench
+
+        if args.jobs is None:
+            jobs = 2
+        else:
+            try:
+                jobs = int(args.jobs)
+            except ValueError:
+                raise UsageError(
+                    "--memo takes a single integer --jobs value"
+                ) from None
+        label = args.label if args.label != "engine" else "memo"
+        try:
+            document = run_memo_bench(
+                scale, label=label, jobs=jobs, progress=print
+            )
+        except MemoBenchError as exc:
+            print(f"memo bench FAILED: {exc}", file=sys.stderr)
+            return 1
+        path = write_bench(document, args.out)
+        print(f"wrote {path}")
+        memo = document["memo"]
+        print(
+            f"warm campaign speedup {memo['campaign']['speedup']:.1f}x "
+            f"({memo['campaign']['units']} units, byte-identical); "
+            f"snapshot restore speedup {memo['snapshot']['speedup']:.1f}x"
+        )
+        if args.baseline is None:
+            return 0
+        comparison = compare_benches(
+            document, load_bench(args.baseline), threshold=args.threshold
+        )
+        for case in comparison.cases:
+            print(f"  {case.policy:14s} {case.mix:12s} {case.ratio:5.2f}x")
+        print(comparison.summary())
+        return 0 if comparison.ok else 1
 
     if args.jobs is not None:
         from .bench.parallel import _parse_jobs_spec
@@ -454,6 +507,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--isolate-tasks", action="store_true",
                    help="fresh worker process per task attempt instead of "
                         "the persistent warm-cache pool")
+    p.add_argument("--result-cache", default=None, metavar="DIR",
+                   help="content-addressed result cache directory "
+                        "(default: <campaign>/result_cache, or "
+                        "REPRO_RESULT_CACHE)")
+    p.add_argument("--no-result-cache", action="store_true",
+                   help="always recompute units, never serve cached results")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
@@ -477,6 +536,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel scaling mode: run bench_cells campaigns "
                         "at these job counts ('auto' = 1 and cpu_count, or "
                         "e.g. '1,4,8'); writes BENCH_parallel.json")
+    p.add_argument("--memo", action="store_true",
+                   help="memoization mode: time a cold vs cache-served "
+                        "campaign pass (verified byte-identical) plus a "
+                        "snapshot warm-start; writes BENCH_memo.json")
     p.add_argument("--out", default="benchmarks/results", metavar="DIR",
                    help="directory for BENCH_<label>.json")
     p.add_argument("--baseline", default=None, metavar="FILE",

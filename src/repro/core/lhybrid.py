@@ -48,16 +48,23 @@ class LHybridPolicy(InsertionPolicy):
     ) -> Optional[int]:
         if part == SRAM:
             # Most recent LB in SRAM (migration candidate), else SRAM LRU;
-            # inlined mru_victim_where/lru_victim, once per replacement.
+            # inlined mru_victim_where/lru_victim as linked-list walks
+            # (rec_prev walks MRU-first), once per replacement.
             sram_ways = cache_set.sram_ways
-            recency = cache_set.recency
             reuse = cache_set.reuse
-            for way in reversed(recency):
+            sentinel = cache_set.total_ways
+            prv = cache_set.rec_prev
+            way = prv[sentinel]
+            while way != sentinel:
                 if way < sram_ways and reuse[way] is ReuseClass.READ:
                     return way
-            for way in recency:
+                way = prv[way]
+            nxt = cache_set.rec_next
+            way = nxt[sentinel]
+            while way != sentinel:
                 if way < sram_ways:
                     return way
+                way = nxt[way]
             return None
         return super().choose_victim(cache_set, part, ctx)
 

@@ -80,30 +80,36 @@ class InsertionPolicy(abc.ABC):
     ) -> Optional[int]:
         """Victim way within ``part`` able to hold the incoming block.
 
-        (Fit-)LRU inlined over the recency list: this runs once per
-        replacement, and the generic helpers' per-way ``capacity_of``
-        callbacks dominated the NVM-unaware baselines' runtime.
+        (Fit-)LRU as a direct walk of the linked recency order: this
+        runs once per replacement, and the generic helpers' per-way
+        ``capacity_of`` callbacks dominated the NVM-unaware baselines'
+        runtime.
         """
         assert self.llc is not None
         sram_ways = cache_set.sram_ways
-        recency = cache_set.recency
+        nxt = cache_set.rec_next
+        sentinel = cache_set.total_ways
+        way = nxt[sentinel]
         if part == SRAM:
-            for way in recency:          # LRU-first order
+            while way != sentinel:       # LRU-first order
                 if way < sram_ways:
                     return way
+                way = nxt[way]
             return None
         ecb = ctx.ecb
         row = self.llc.faultmap.rows[cache_set.index]
         if part == GLOBAL:
             block_size = self.llc.block_size
-            for way in recency:
+            while way != sentinel:
                 cap = block_size if way < sram_ways else row[way - sram_ways]
                 if cap >= ecb:
                     return way
+                way = nxt[way]
             return None
-        for way in recency:              # NVM part: fit-LRU
+        while way != sentinel:           # NVM part: fit-LRU
             if way >= sram_ways and row[way - sram_ways] >= ecb:
                 return way
+            way = nxt[way]
         return None
 
     def handle_sram_eviction(

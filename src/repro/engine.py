@@ -15,9 +15,10 @@ what makes the paper's normalised comparisons meaningful.
 
 from __future__ import annotations
 
+import copy
 import gc
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterator, List, Optional, Sequence
 
 from .cache.hierarchy import MemoryHierarchy
@@ -182,14 +183,53 @@ class Simulation:
         """
         if cycles <= warmup_cycles:
             raise ValueError("cycles must exceed warmup_cycles")
+        start = min(core.cycles for core in self.cores)
+        return self._run(start + cycles, start + warmup_cycles, record_epochs)
+
+    def run_until(
+        self,
+        end_cycle: float,
+        warmup_until: Optional[float] = None,
+        record_epochs: bool = True,
+    ) -> SimulationResult:
+        """Simulate up to the *absolute* global cycle ``end_cycle``.
+
+        Unlike :meth:`run`, whose budget is relative to the current
+        core positions, the end (and the optional ``warmup_until``
+        stats-reset boundary) are absolute clock values.  This is what
+        makes warm-started runs byte-identical to cold ones: cores
+        overshoot a warmup boundary by a few hundred cycles, so a
+        relative budget re-applied after a snapshot restore would move
+        the end of the measured window.  ``run(c, warmup_cycles=w)``
+        from a fresh simulation is exactly ``run_until(c, w)``, and
+        ``run_until(w, w)`` followed by ``run_until(c, w)`` replays the
+        same access stream, statistics, and epoch records in two steps
+        (``tests/test_snapshot.py`` pins this against the goldens).
+
+        ``end_cycle == warmup_until`` is allowed: it runs pure warmup —
+        every core crosses the boundary, stats are reset, and the
+        returned (measured-window) result is empty.
+        """
+        start = min(core.cycles for core in self.cores)
+        if warmup_until is None:
+            warmup_until = start
+        if end_cycle < warmup_until:
+            raise ValueError("end_cycle must be >= warmup_until")
+        return self._run(float(end_cycle), float(warmup_until), record_epochs)
+
+    def _run(
+        self,
+        cycles: float,
+        warmup_cycles: float,
+        record_epochs: bool,
+    ) -> SimulationResult:
+        """Core loop; ``cycles``/``warmup_cycles`` are absolute."""
         hierarchy = self.hierarchy
         cores = self.cores
         epoch_cycles = self.config.dueling.epoch_cycles
         epochs: List[EpochRecord] = []
         epoch_snap = hierarchy.stats.llc.snapshot()
         start = min(core.cycles for core in cores)
-        cycles = start + cycles
-        warmup_cycles = start + warmup_cycles
         next_epoch = self._next_epoch
         epoch_index = self._epoch_index
         warmed = warmup_cycles <= start
@@ -306,6 +346,84 @@ class Simulation:
             seconds=measured / self.config.latency.cpu_freq_hz,
             ipcs=ipcs,
         )
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (the memoization subsystem's engine hook)
+    # ------------------------------------------------------------------
+    def _snapshot_shared(self) -> tuple:
+        """Objects shared (not copied) between a snapshot and its host.
+
+        The immutable system config (and its frozen sub-configs, which
+        the hierarchy references directly) plus the workload and its
+        data model — a snapshot captures *simulation state*, not the
+        multi-megabyte trace columns or the size memo, which are
+        read-only during a run.
+        """
+        shared = [self.config, self.workload, self.workload.data_model]
+        for f in fields(self.config):
+            shared.append(getattr(self.config, f.name))
+        return tuple(shared)
+
+    def snapshot(self) -> "SimulationSnapshot":
+        """Deep-copy the mutable simulation state.
+
+        Captures hierarchy (sets, directory, metadata, fault map, wear,
+        stats), cores (clocks + instruction counts), trace cursors and
+        the epoch schedule — everything :meth:`restore` needs to make a
+        subsequent ``run_until`` byte-identical to continuing this
+        simulation.  Policy state rides along because the policy hangs
+        off ``hierarchy.llc``.
+        """
+        shared = self._snapshot_shared()
+        memo = {id(obj): obj for obj in shared}
+        state = copy.deepcopy(
+            (self.hierarchy, self.cores, self._cursors,
+             self._next_epoch, self._epoch_index),
+            memo,
+        )
+        return SimulationSnapshot(state, shared)
+
+    def restore(self, snap: "SimulationSnapshot") -> None:
+        """Adopt a snapshot's state (the snapshot stays reusable).
+
+        The state is deep-copied *again* on the way in, so one stored
+        snapshot can warm-start any number of simulations.  The host
+        simulation must have been built for the same geometry (same
+        core count); key construction in :mod:`repro.memo.snapshots`
+        guarantees full config/workload equality for store-served
+        snapshots.
+        """
+        memo = {id(obj): obj for obj in snap._shared}
+        hierarchy, cores, cursors, next_epoch, epoch_index = copy.deepcopy(
+            snap._state, memo
+        )
+        if len(cursors) != len(self._cursors):
+            raise ValueError("snapshot core count does not match simulation")
+        self.hierarchy = hierarchy
+        self.policy = hierarchy.llc.policy
+        self.cores = cores
+        self._cursors = cursors
+        self._next_epoch = next_epoch
+        self._epoch_index = epoch_index
+
+
+class SimulationSnapshot:
+    """Opaque, reusable deep snapshot of a :class:`Simulation`.
+
+    Produced by :meth:`Simulation.snapshot`, consumed by
+    :meth:`Simulation.restore`.  Holds the copied mutable state plus
+    the identity list of intentionally shared immutables (config,
+    workload, data model) that restore must keep shared rather than
+    clone.  In-process only: the object graph hangs onto mmap-backed
+    trace views and bound methods, so it is deliberately not
+    picklable across processes.
+    """
+
+    __slots__ = ("_state", "_shared")
+
+    def __init__(self, state: tuple, shared: tuple) -> None:
+        self._state = state
+        self._shared = shared
 
 
 def run_policy_on_mix(

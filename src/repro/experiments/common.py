@@ -187,16 +187,49 @@ def run_one(
     ``capacities`` optionally preloads an aged NVM fault map (shape
     ``(n_sets, nvm_ways)``) before the run — how the capacity-sweep
     experiments model a worn cache.
+
+    When the in-process snapshot store is enabled (the default; see
+    :mod:`repro.memo.snapshots`), the warmup prefix is keyed by
+    (config, policy, workload, warmup, capacities): the first run of a
+    prefix snapshots its warmed state and later runs restore it
+    instead of re-simulating.  Warm and cold paths return
+    byte-identical results — the store replays the warmup's epoch
+    records too — so callers cannot observe which path ran.
     """
+    import dataclasses as _dc
+
     from ..engine import Simulation
+    from ..memo.snapshots import shared_snapshot_store, warm_prefix_key
 
     epoch = config.dueling.epoch_cycles
+    warmup = epoch * warmup_epochs
+    total = epoch * (warmup_epochs + measure_epochs)
+    store = shared_snapshot_store()
+    if store is not None and warmup > 0:
+        key = warm_prefix_key(config, policy, workload, warmup, capacities)
+        if key is not None:
+            entry = store.get(key)
+            sim = Simulation(config, policy, workload)
+            if entry is None:
+                if capacities is not None:
+                    sim.hierarchy.llc.faultmap.load_capacities(capacities)
+                prefix = sim.run_until(warmup, warmup_until=warmup)
+                store.put(key, sim.snapshot(), prefix.epochs)
+                prefix_epochs = prefix.epochs
+            else:
+                # Capacities are baked into the snapshot (and the key).
+                sim.restore(entry.snapshot)
+                prefix_epochs = [_dc.replace(e) for e in entry.epochs]
+            result = sim.run_until(total, warmup_until=warmup)
+            result.epochs[:0] = prefix_epochs
+            return result
+
     sim = Simulation(config, policy, workload)
     if capacities is not None:
         sim.hierarchy.llc.faultmap.load_capacities(capacities)
     return sim.run(
-        cycles=epoch * (warmup_epochs + measure_epochs),
-        warmup_cycles=epoch * warmup_epochs,
+        cycles=total,
+        warmup_cycles=warmup,
     )
 
 

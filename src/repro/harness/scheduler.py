@@ -46,6 +46,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..experiments.campaign_tasks import CampaignTask, enumerate_campaign_tasks
 from ..experiments.common import get_scale
+from ..memo.fingerprint import code_fingerprint
+from ..memo.results import ResultCache, result_cache_dir, result_cache_key
 from .chaos import ChaosConfig
 from .checkpoint import load_result, verify_result, write_json_atomic
 from .errors import (
@@ -98,6 +100,12 @@ class CampaignSettings:
     #: scheduler maximally reactive; larger batches shave dispatch
     #: round-trips on very short tasks.
     batch_size: int = 1
+    #: The on-disk result cache (:mod:`repro.memo.results`): completed
+    #: unit payloads keyed by (fingerprint, experiment, unit, scale).
+    #: ``False`` disables both lookup and store; the directory defaults
+    #: to the ``REPRO_RESULT_CACHE`` env var (unset ⇒ disabled).
+    use_result_cache: bool = True
+    result_cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -116,6 +124,10 @@ class CampaignReport:
     durations: Dict[str, float] = field(default_factory=dict)
     #: Pool workers replaced after dying or blowing a deadline.
     worker_respawns: int = 0
+    #: Tasks served from the result cache (subset of ``completed``) —
+    #: verified, checkpointed and manifested like worker results, but
+    #: never dispatched to a worker.
+    cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -214,6 +226,18 @@ class CampaignRunner:
         # Scale names are validated eagerly so a typo fails fast.
         get_scale(self.scale_name)
 
+        # Result cache: explicit dir > REPRO_RESULT_CACHE env > off.
+        cache_root = None
+        if self.settings.use_result_cache:
+            if self.settings.result_cache_dir is not None:
+                cache_root = Path(self.settings.result_cache_dir)
+            else:
+                cache_root = result_cache_dir()
+        self.result_cache = (
+            ResultCache(cache_root) if cache_root is not None else None
+        )
+        self._fingerprint = code_fingerprint()
+
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
@@ -243,6 +267,59 @@ class CampaignRunner:
             profile_dir=self.settings.profile_dir,
         )
 
+    def _cache_key(self, task: CampaignTask) -> str:
+        return result_cache_key(
+            task.experiment, task.unit, self.scale_name, self._fingerprint
+        )
+
+    def _serve_from_cache(
+        self, queue: List[_TaskState], report: CampaignReport
+    ) -> List[_TaskState]:
+        """Complete queued tasks whose results the cache already holds.
+
+        A hit flows through the exact machinery a worker result would:
+        the payload is written atomically to the task's result path,
+        re-verified, and marked in the manifest — so resume, chaos and
+        byte-identity guarantees are untouched.  Any defect (corrupt
+        entry, unwritable results dir) downgrades to a miss and the
+        task runs normally.
+        """
+        if self.result_cache is None or not queue:
+            return queue
+        remaining: List[_TaskState] = []
+        for state in queue:
+            task = state.task
+            payload = self.result_cache.get(self._cache_key(task), task.task_id)
+            if payload is None:
+                remaining.append(state)
+                continue
+            result_path = self._result_path(task)
+            try:
+                write_json_atomic(result_path, payload)
+                _, sha256 = verify_result(result_path, task.task_id)
+            except (OSError, CorruptResultError):
+                self._scrub_bad_result(task)
+                remaining.append(state)
+                continue
+            self.manifest.mark_complete(
+                task.task_id,
+                f"{self.manifest.results_dir.name}/{task.filename}",
+                sha256,
+                state.attempts,
+            )
+            report.completed += 1
+            report.cache_hits += 1
+            self.progress(
+                f"cached {task.task_id} "
+                f"({report.completed + report.skipped}/{report.total})"
+            )
+        if report.cache_hits:
+            self.progress(
+                f"result cache: served {report.cache_hits} tasks "
+                f"from {self.result_cache.root}"
+            )
+        return remaining
+
     def _scrub_bad_result(self, task: CampaignTask) -> None:
         """Never leave a bad result file where resume could trip on it."""
         result_path = self._result_path(task)
@@ -261,7 +338,9 @@ class CampaignRunner:
         """
         task = state.task
         try:
-            _, sha256 = verify_result(self._result_path(task), task.task_id)
+            payload, sha256 = verify_result(
+                self._result_path(task), task.task_id
+            )
         except CorruptResultError as exc:
             return AttemptFailure(
                 task.task_id, state.attempts, CORRUPT, exc.reason
@@ -272,6 +351,10 @@ class CampaignRunner:
             sha256,
             state.attempts,
         )
+        if self.result_cache is not None:
+            # Only *verified* payloads enter the cache; put failures
+            # (disk full, read-only cache) are silently dropped.
+            self.result_cache.put(self._cache_key(task), payload)
         report.completed += 1
         report.durations[task.task_id] = duration
         self.progress(
@@ -345,6 +428,7 @@ class CampaignRunner:
                 continue
             entry = self.manifest.entry(task.task_id)
             queue.append(_TaskState(task=task, attempts=entry.attempts))
+        queue = self._serve_from_cache(queue, report)
         self.manifest.save()
         mode = "isolated" if self.settings.isolate_tasks else "pool"
         self.progress(

@@ -1,0 +1,41 @@
+"""Content-addressed memoization above the engine.
+
+Three layers, all keyed by content hashes and tolerant of corrupt or
+stale entries (mirroring the trace/sidecar cache design in
+:mod:`repro.workloads.cache`):
+
+* :mod:`repro.memo.fingerprint` — the code-version fingerprint derived
+  from the committed golden digests; any engine change that alters
+  statistics changes every memo key.
+* :mod:`repro.memo.results` — the on-disk campaign result cache: a
+  completed unit's verified JSON payload, keyed by (fingerprint,
+  experiment, unit, scale).
+* :mod:`repro.memo.snapshots` — the in-process post-warmup snapshot
+  store: a warmed :class:`~repro.engine.SimulationSnapshot`, keyed by
+  (fingerprint, config, policy, workload, warmup, capacities).
+"""
+
+from .fingerprint import EMBEDDED_GOLDEN_DIGESTS, code_fingerprint
+from .results import RESULT_CACHE_ENV, ResultCache, result_cache_key
+from .snapshots import (
+    SNAPSHOT_MEMO_ENV,
+    SNAPSHOT_MEMO_SLOTS_ENV,
+    SnapshotStore,
+    reset_shared_snapshot_store,
+    shared_snapshot_store,
+    warm_prefix_key,
+)
+
+__all__ = [
+    "EMBEDDED_GOLDEN_DIGESTS",
+    "code_fingerprint",
+    "RESULT_CACHE_ENV",
+    "ResultCache",
+    "result_cache_key",
+    "SNAPSHOT_MEMO_ENV",
+    "SNAPSHOT_MEMO_SLOTS_ENV",
+    "SnapshotStore",
+    "reset_shared_snapshot_store",
+    "shared_snapshot_store",
+    "warm_prefix_key",
+]

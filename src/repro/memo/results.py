@@ -1,0 +1,118 @@
+"""On-disk campaign result cache (memo layer 1).
+
+Campaign units are deterministic: the same ``(experiment, unit,
+scale)`` on the same code version serialises to byte-identical JSON
+(the contract ``experiments/campaign_tasks.py`` documents and the
+resume tests enforce).  That makes completed unit payloads safe to
+reuse *across campaigns* — re-running a figure, widening a matrix, or
+replaying the whole evaluation at another path re-pays only the units
+it has never computed.
+
+Design mirrors the trace cache (:mod:`repro.workloads.cache`):
+
+* keys are SHA-256 over a canonical-JSON rendering of every input that
+  shapes the result, *including* :func:`~repro.memo.fingerprint.code_fingerprint`
+  — a stale-code entry simply never matches a live key, exactly like a
+  bumped ``GENERATOR_VERSION``;
+* entries are written atomically (temp file + ``os.replace``) so a
+  crashed writer can at worst leave a temp file, never a torn entry;
+* readers treat anything unreadable, unparsable or shape-invalid as a
+  miss — corrupt entries are silently recomputed, never fatal.
+
+The scheduler stays the sole integrity authority: a cache hit is
+written through the normal checkpoint/manifest machinery and verified
+like a worker-produced result, so resume and ``--chaos`` semantics are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from .fingerprint import canonical_json, code_fingerprint
+
+RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
+
+
+def result_cache_key(
+    experiment: str,
+    unit: Mapping[str, Any],
+    scale: str,
+    fingerprint: Optional[str] = None,
+) -> str:
+    """Hex SHA-256 over every input that shapes a campaign unit result.
+
+    Flipping any of experiment, unit contents (policy, mix, seed, …),
+    scale, or the code fingerprint produces a different key — cache
+    misuse is a key mismatch, not a runtime check.
+    """
+    blob = canonical_json(
+        {
+            "fingerprint": (
+                fingerprint if fingerprint is not None else code_fingerprint()
+            ),
+            "experiment": experiment,
+            "unit": dict(unit),
+            "scale": scale,
+        }
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def result_cache_dir() -> Optional[Path]:
+    """The on-disk cache directory, or None if caching is disabled."""
+    value = os.environ.get(RESULT_CACHE_ENV, "").strip()
+    return Path(value) if value else None
+
+
+class ResultCache:
+    """Content-addressed store of verified campaign result payloads."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(
+        self, key: str, task_id: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or None on any defect.
+
+        ``task_id``, when given, must match the payload's recorded
+        task id — a belt-and-braces check on top of the key (a
+        hand-renamed entry serves a miss, not a wrong result).
+        """
+        try:
+            text = self.path_for(key).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(payload, dict) or payload.get("status") != "ok":
+            return None
+        if task_id is not None and payload.get("task_id") != task_id:
+            return None
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> bool:
+        """Store a payload atomically; failures are non-fatal misses."""
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(canonical_json(dict(payload)), encoding="utf-8")
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        return True

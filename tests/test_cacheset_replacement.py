@@ -155,3 +155,85 @@ def test_recency_is_permutation_of_valid_ways(addr_stream):
     assert len(cs.way_of) == len(valid)
     # a block is never resident in two ways
     assert len(set(cs.way_of.values())) == len(cs.way_of)
+
+
+class ShadowLRU:
+    """The pre-PR-4 list recency model: remove/append on a plain list.
+
+    The linked-list implementation in :class:`CacheSet` must be
+    observationally identical to this — same LRU→MRU sequence after
+    any interleaving of inserts, touches and evicts.
+    """
+
+    def __init__(self):
+        self.order = []
+
+    def insert(self, way):
+        self.order.append(way)
+
+    def touch(self, way):
+        if self.order and self.order[-1] == way:
+            return
+        self.order.remove(way)
+        self.order.append(way)
+
+    def evict(self, way):
+        self.order.remove(way)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "touch", "evict"]),
+                  st.integers(0, 15)),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_linked_list_recency_matches_shadow_list(ops):
+    """Property: DLL recency == plain-list recency on any op sequence."""
+    cs = make_set(4, 12)
+    shadow = ShadowLRU()
+    next_addr = 1
+    for op, way in ops:
+        resident = cs.tags[way] is not None
+        if op == "insert" and not resident:
+            fill_way(cs, way, next_addr)
+            shadow.insert(way)
+            next_addr += 1
+        elif op == "touch" and resident:
+            cs.touch(way)
+            shadow.touch(way)
+        elif op == "evict" and resident:
+            cs.evict(way)
+            shadow.evict(way)
+        assert cs.recency == shadow.order
+        assert cs.lru_order() == shadow.order
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "evict"]), st.integers(0, 7)),
+        min_size=1,
+        max_size=120,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_invalid_way_and_occupancy_match_scan(ops):
+    """Property: counter-backed early-outs == a full scan of the tags."""
+    cs = make_set(4, 4)
+    next_addr = 1
+    for op, way in ops:
+        resident = cs.tags[way] is not None
+        if op == "insert" and not resident:
+            fill_way(cs, way, next_addr)
+            next_addr += 1
+        elif op == "evict" and resident:
+            cs.evict(way)
+        for part, ways in (
+            (SRAM, range(0, cs.sram_ways)),
+            (NVM, range(cs.sram_ways, cs.total_ways)),
+        ):
+            invalid = [w for w in ways if cs.tags[w] is None]
+            assert cs.invalid_way(part) == (invalid[0] if invalid else None)
+            assert cs.occupancy(part) == len(ways) - len(invalid)

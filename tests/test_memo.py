@@ -1,0 +1,223 @@
+"""Result-cache tests: keying, defect tolerance, campaign integration.
+
+The contract under test (ISSUE 4): a completed campaign unit may be
+served from the content-addressed result cache only when *every*
+input that shapes it — experiment, unit dict, scale, code fingerprint
+— matches; served results are byte-identical to computed ones; any
+corrupt or stale entry is silently recomputed, never trusted and
+never fatal.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import CampaignSettings, run_campaign
+from repro.memo.fingerprint import (
+    EMBEDDED_GOLDEN_DIGESTS,
+    MEMO_SCHEMA,
+    code_fingerprint,
+)
+from repro.memo.results import ResultCache, result_cache_key
+
+GOLDENS_PATH = Path(__file__).parent / "goldens" / "determinism.json"
+
+
+def test_fingerprint_tracks_committed_goldens():
+    """The embedded digest literal must equal the committed goldens.
+
+    The fingerprint is the staleness guard of every cache key: if the
+    engine changes behaviour, the golden digests change, this test
+    forces the literal to be updated, and every old cache entry stops
+    matching.  An out-of-date literal would let stale entries serve.
+    """
+    committed = json.loads(GOLDENS_PATH.read_text())
+    assert EMBEDDED_GOLDEN_DIGESTS == committed
+
+
+def test_fingerprint_is_stable_and_schema_versioned():
+    assert code_fingerprint() == code_fingerprint()
+    assert MEMO_SCHEMA.startswith("repro-memo/")
+
+
+def test_result_cache_key_sensitivity():
+    base = dict(
+        experiment="tables",
+        unit={"policy": "cp_sd", "mix": "mix1", "seed": 0},
+        scale="smoke",
+    )
+    key = result_cache_key(**base)
+    assert key != result_cache_key(**{**base, "experiment": "figures"})
+    assert key != result_cache_key(**{**base, "scale": "default"})
+    assert key != result_cache_key(
+        **{**base, "unit": {**base["unit"], "policy": "bh"}}
+    )
+    assert key != result_cache_key(
+        **{**base, "unit": {**base["unit"], "mix": "mix4"}}
+    )
+    assert key != result_cache_key(
+        **{**base, "unit": {**base["unit"], "seed": 1}}
+    )
+    # A code change (different fingerprint) invalidates everything.
+    assert key != result_cache_key(**base, fingerprint="stale" * 8)
+    # Key order in the unit dict must not matter (canonical JSON).
+    reordered = {"seed": 0, "mix": "mix1", "policy": "cp_sd"}
+    assert key == result_cache_key(**{**base, "unit": reordered})
+
+
+def test_result_cache_roundtrip_and_defect_tolerance(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = "ab" * 32
+    payload = {"status": "ok", "task_id": "t1", "result": {"x": 1}}
+
+    assert cache.get(key) is None  # empty cache, no directory yet
+    assert cache.put(key, payload)
+    assert cache.get(key) == payload
+    assert cache.get(key, task_id="t1") == payload
+
+    # A hand-renamed entry must serve a miss, not a wrong result.
+    assert cache.get(key, task_id="other") is None
+
+    # Corruption is a silent miss: truncated JSON, non-dict, bad status.
+    cache.path_for(key).write_bytes(b"\x00garbage{")
+    assert cache.get(key) is None
+    cache.path_for(key).write_text("[1, 2, 3]")
+    assert cache.get(key) is None
+    cache.path_for(key).write_text('{"status": "error", "task_id": "t1"}')
+    assert cache.get(key) is None
+
+    # Unserialisable payloads fail the put, not the campaign.
+    assert not cache.put(key, {"status": "ok", "bad": object()})
+
+
+FAST = CampaignSettings(jobs=2, task_timeout=60, retries=2, backoff_base=0.01)
+
+
+def _result_bytes(directory) -> dict:
+    return {
+        p.name: p.read_bytes()
+        for p in (Path(directory) / "results").glob("*.json")
+    }
+
+
+def _cached_settings(cache_dir) -> CampaignSettings:
+    return CampaignSettings(
+        jobs=2,
+        task_timeout=60,
+        retries=2,
+        backoff_base=0.01,
+        result_cache_dir=str(cache_dir),
+    )
+
+
+@pytest.fixture(scope="module")
+def cached_campaign_pair(tmp_path_factory):
+    """Two `tables` campaigns sharing one result cache, cold then warm."""
+    base = tmp_path_factory.mktemp("memo")
+    settings = _cached_settings(base / "result_cache")
+    cold = run_campaign(
+        base / "cold", scale="smoke", experiments=["tables"], settings=settings
+    )
+    warm = run_campaign(
+        base / "warm", scale="smoke", experiments=["tables"], settings=settings
+    )
+    return base, cold, warm
+
+
+def test_second_campaign_is_served_from_cache(cached_campaign_pair):
+    base, cold, warm = cached_campaign_pair
+    assert cold.ok and cold.completed == 5 and cold.cache_hits == 0
+    assert warm.ok and warm.completed == 5 and warm.cache_hits == 5
+    assert _result_bytes(base / "cold") == _result_bytes(base / "warm")
+    # Cache hits never dispatch a worker, so they record no duration.
+    assert len(cold.durations) == 5
+    assert len(warm.durations) == 0
+
+
+def test_cache_hit_campaign_passes_resume_verification(cached_campaign_pair):
+    """A cache-served campaign must still checkpoint/verify like a
+    computed one: resuming it skips everything as verified-complete."""
+    base, _, _ = cached_campaign_pair
+    resumed = run_campaign(base / "warm", resume=True, settings=FAST)
+    assert resumed.ok and resumed.completed == 0 and resumed.skipped == 5
+
+
+def test_corrupt_cache_entries_are_recomputed(cached_campaign_pair, tmp_path):
+    base, _, _ = cached_campaign_pair
+    cache_dir = base / "result_cache"
+    entries = sorted(cache_dir.glob("*.json"))
+    assert len(entries) == 5
+    for entry in entries:
+        entry.write_bytes(b"not json at all")
+
+    settings = _cached_settings(cache_dir)
+    report = run_campaign(
+        tmp_path / "after_corruption",
+        scale="smoke",
+        experiments=["tables"],
+        settings=settings,
+    )
+    assert report.ok and report.completed == 5
+    assert report.cache_hits == 0  # every corrupt entry fell back to compute
+    assert _result_bytes(tmp_path / "after_corruption") == _result_bytes(
+        base / "cold"
+    )
+    # ... and the recompute repaired the cache in passing.
+    repaired = run_campaign(
+        tmp_path / "repaired",
+        scale="smoke",
+        experiments=["tables"],
+        settings=settings,
+    )
+    assert repaired.ok and repaired.cache_hits == 5
+
+
+def test_stale_fingerprint_entries_never_match(cached_campaign_pair, tmp_path):
+    """Entries keyed by another code version are invisible: the live
+    key embeds the live fingerprint, so lookup simply misses."""
+    base, _, _ = cached_campaign_pair
+    stale_dir = tmp_path / "stale_cache"
+    stale_dir.mkdir()
+    live_cache = base / "result_cache"
+    for entry in live_cache.glob("*.json"):
+        payload = json.loads(entry.read_text())
+        unit = dict(payload["unit"])
+        stale_key = result_cache_key(
+            payload["experiment"], unit, payload["scale"],
+            fingerprint="0" * 64,
+        )
+        live_key = result_cache_key(
+            payload["experiment"], unit, payload["scale"]
+        )
+        assert stale_key != live_key
+        (stale_dir / f"{stale_key}.json").write_text(entry.read_text())
+
+    report = run_campaign(
+        tmp_path / "stale_run",
+        scale="smoke",
+        experiments=["tables"],
+        settings=_cached_settings(stale_dir),
+    )
+    assert report.ok and report.completed == 5
+    assert report.cache_hits == 0
+
+
+def test_disabled_cache_never_reads_or_writes(tmp_path):
+    cache_dir = tmp_path / "cache"
+    settings = CampaignSettings(
+        jobs=2,
+        task_timeout=60,
+        retries=2,
+        backoff_base=0.01,
+        use_result_cache=False,
+        result_cache_dir=str(cache_dir),
+    )
+    report = run_campaign(
+        tmp_path / "uncached",
+        scale="smoke",
+        experiments=["tables"],
+        settings=settings,
+    )
+    assert report.ok and report.cache_hits == 0
+    assert not cache_dir.exists()
