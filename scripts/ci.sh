@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the full test suite plus a fast performance smoke.
 #
-# Usage: scripts/ci.sh [--skip-tests|--skip-bench]
+# Usage: scripts/ci.sh [--skip-tests|--skip-bench|--skip-memo|--skip-schema]
 #
 # The bench leg runs a *reduced* matrix (3 policies x 1 mix, smoke
 # scale, best-of-3) against the committed full-matrix baseline —
@@ -16,11 +16,13 @@ cd "$(dirname "$0")/.."
 RUN_TESTS=1
 RUN_BENCH=1
 RUN_MEMO=1
+RUN_SCHEMA=1
 for arg in "$@"; do
   case "$arg" in
     --skip-tests) RUN_TESTS=0 ;;
     --skip-bench) RUN_BENCH=0 ;;
     --skip-memo) RUN_MEMO=0 ;;
+    --skip-schema) RUN_SCHEMA=0 ;;
     *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -30,6 +32,14 @@ export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
 if [[ "$RUN_TESTS" == 1 ]]; then
   echo "== ci: tier-1 test suite =="
   python -m pytest -x -q
+fi
+
+if [[ "$RUN_SCHEMA" == 1 ]]; then
+  echo "== ci: artefact schema consistency =="
+  # Every committed BENCH_*.json and the golden digests must validate
+  # against the *current* RunRecord schema and metric registry, so a
+  # metric rename or schema bump can never silently orphan artefacts.
+  python -m repro export --check
 fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then

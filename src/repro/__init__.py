@@ -13,11 +13,13 @@ Public entry points:
   procedure producing the paper's IPC-vs-time curves.
 """
 
+# Defined before the subpackage imports: repro.manifest (reached via
+# the metrics spine during those imports) reads it at import time.
+__version__ = "1.0.0"
+
 from . import analysis, cache, compression, config, core, forecast, nvm, timing, workloads
 from .config import SystemConfig, paper_system
 from .engine import Simulation, SimulationResult, Workload, run_policy_on_mix
-
-__version__ = "1.0.0"
 
 __all__ = [
     "Simulation",

@@ -83,11 +83,21 @@ class BenchComparison:
 
 
 def load_bench(path: PathLike) -> Optional[dict]:
-    """Load a BENCH_*.json document, or None if the file is absent."""
+    """Load a BENCH_*.json document, or None if the file is absent.
+
+    Artefacts are RunRecord envelopes (``values["document"]`` holds the
+    timing document); raw pre-envelope documents are still accepted so
+    old baselines keep comparing.
+    """
     path = Path(path)
     if not path.exists():
         return None
-    return json.loads(path.read_text())
+    data = json.loads(path.read_text())
+    from ..metrics import RunRecord, is_run_record_payload
+
+    if is_run_record_payload(data):
+        return RunRecord.from_json(data).values.get("document", {})
+    return data
 
 
 def compare_benches(

@@ -30,9 +30,16 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..core import make_policy
 from ..engine import Simulation, Workload
 from ..experiments.common import ExperimentScale, geometric_mean
+from ..metrics import RunRecord
+from ..metrics.registry import register_metric
 
-#: Schema tag stamped into every BENCH_*.json (bump on layout change).
+#: Schema tag of the embedded bench document (bump on layout change);
+#: the artefact on disk is a RunRecord envelope around it.
 BENCH_SCHEMA = "repro-bench/1"
+
+register_metric("bench", "geomean_mcycles_per_s", "Mcycles/s",
+                "Geometric mean simulation rate across the bench matrix",
+                aggregation="last")
 
 PathLike = Union[str, Path]
 
@@ -212,12 +219,41 @@ def run_bench(
     }
 
 
+def bench_record(document: dict) -> RunRecord:
+    """Wrap a bench document in the versioned RunRecord envelope.
+
+    The timing numbers stay verbatim in ``values["document"]``; the
+    headline geomean is additionally surfaced as a registered metric so
+    the exporters and ``repro export --check`` treat bench artefacts
+    like any other run.
+    """
+    metrics = {}
+    geomean = document.get("geomean_mcycles_per_s")
+    if geomean is not None:
+        metrics["bench.geomean_mcycles_per_s"] = geomean
+    return RunRecord(
+        kind="bench",
+        meta={
+            "label": document.get("label"),
+            "scale": document.get("scale"),
+            "bench_schema": document.get("schema"),
+        },
+        metrics=metrics,
+        values={"document": document},
+    )
+
+
 def write_bench(document: dict, out_dir: PathLike) -> Path:
-    """Write ``BENCH_<label>.json`` under ``out_dir`` (atomically)."""
+    """Write ``BENCH_<label>.json`` under ``out_dir`` (atomically).
+
+    The on-disk artefact is the RunRecord envelope of the document —
+    one schema shared with campaign results and the memo cache.
+    """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{document['label']}.json"
     tmp = out_dir / f".{path.name}.tmp.{os.getpid()}"
-    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    payload = bench_record(document).to_json()
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     os.replace(tmp, path)
     return path

@@ -9,6 +9,8 @@ Commands
 ``ablation``  — run one of the design-choice ablations
 ``campaign``  — fault-tolerant multi-experiment run with resume
 ``bench``     — engine speed benchmark with baseline regression gate
+``export``    — convert RunRecord artefacts to json/csv/jsonl/prom,
+                or ``--check`` committed artefacts for schema drift
 
 Unknown mix/policy/scale/experiment names exit with code 2 and a
 one-line "did you mean" suggestion instead of a traceback.
@@ -439,6 +441,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def cmd_export(args: argparse.Namespace) -> int:
+    from .metrics.export import (
+        ExportError,
+        check_artifacts,
+        export_records,
+        load_records,
+    )
+
+    if args.check:
+        checked, errors = check_artifacts(extra_paths=args.paths)
+        for error in errors:
+            print(f"  FAIL: {error}", file=sys.stderr)
+        verdict = "FAILED" if errors else "ok"
+        print(
+            f"export --check {verdict}: {len(checked)} artefacts, "
+            f"{len(errors)} errors"
+        )
+        return 1 if errors else 0
+
+    if not args.paths:
+        raise UsageError("export needs at least one path (or --check)")
+    try:
+        records = load_records(args.paths)
+        text = export_records(records, args.format)
+    except ExportError as exc:
+        raise UsageError(str(exc)) from None
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text, encoding="utf-8")
+        print(f"wrote {out} ({len(records)} records, {args.format})")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -547,6 +587,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.10,
                    help="allowed geomean ratio band around 1.0")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "export",
+        help="export RunRecord artefacts (files or campaign dirs) "
+             "to json/csv/jsonl/prom, or --check committed artefacts",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="result files, BENCH_*.json artefacts, or "
+                        "campaign directories")
+    p.add_argument("--format", default="json",
+                   choices=("json", "csv", "jsonl", "prom"),
+                   help="output format (default: json)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write to FILE instead of stdout")
+    p.add_argument("--check", action="store_true",
+                   help="validate committed BENCH_*.json artefacts and "
+                        "golden digests against the current schema; "
+                        "extra PATHs are checked too; exits 1 on drift")
+    p.set_defaults(func=cmd_export)
     return parser
 
 

@@ -22,6 +22,20 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..config import SetDuelingConfig
+from ..metrics.registry import register_metric
+
+# Duel outcomes, collected from a bound policy's controller when a
+# RunRecord is built; the per-access record_hit/record_nvm_write hooks
+# stay inlined plain-int arithmetic.
+register_metric("policy", "current_cpth", "bytes",
+                "CP_th follower sets currently use (null for fixed policies)",
+                aggregation="last", attr="current_cpth")
+register_metric("duel", "winner_cpth", "bytes",
+                "CP_th elected by the last completed duel epoch",
+                aggregation="last", attr="current_winner")
+register_metric("duel", "epochs", "count",
+                "Completed set-dueling election epochs",
+                aggregation="last", attr="epochs_elapsed")
 
 
 class ElectionRule(abc.ABC):

@@ -24,6 +24,7 @@ from typing import Iterator, List, Optional, Sequence
 from .cache.hierarchy import MemoryHierarchy
 from .cache.stats import HierarchyStats
 from .config import SystemConfig
+from .metrics.registry import register_metric
 from .core.policy import InsertionPolicy
 from .timing.core_model import AnalyticalCore
 from .workloads.cache import (
@@ -127,6 +128,36 @@ class SimulationResult:
     @property
     def nvm_bytes_written(self) -> int:
         return self.stats.llc.nvm_bytes_written
+
+    def to_run_record(self, kind: str = "simulation", meta=None, policy=None):
+        """This result as a :class:`~repro.metrics.RunRecord`.
+
+        The returned record keeps a live reference to this result, so
+        the historical attribute accessors (``stats``, ``epochs``, …)
+        keep working on it unchanged.
+        """
+        from .metrics.record import RunRecord
+
+        return RunRecord.from_simulation(
+            self, kind=kind, meta=meta, policy=policy
+        )
+
+
+# Phase-level observations of one simulation window.  ``seconds`` is
+# *simulated* wall-clock time — what leakage energy and wear rates
+# integrate over — not host time.
+register_metric("sim", "cycles", "cycles",
+                "Simulated cycles of the measured window",
+                aggregation="last")
+register_metric("sim", "seconds", "s",
+                "Simulated seconds of the measured window",
+                aggregation="last")
+register_metric("sim", "mean_ipc", "instructions/cycle",
+                "Mean per-core IPC over the measured window",
+                aggregation="derived")
+register_metric("sim", "hit_rate", "fraction",
+                "LLC hit rate over the whole run",
+                aggregation="derived")
 
 
 class Simulation:

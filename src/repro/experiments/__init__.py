@@ -39,7 +39,7 @@ from .lifetime import (
     run_lifetime_study,
 )
 from .optimal_cpth import WinnerDistribution, run_fig8a, run_fig8b, winner_distribution
-from .report import format_records, format_table
+from .report import format_records, format_run_records, format_table
 from .tables import table1_rows, table2_rows, table3_rows, table4_rows, table5_rows
 from .th_tradeoff import TradeoffPoint, run_fig9
 from .wear_leveling_study import run_wear_leveling_study
@@ -69,6 +69,7 @@ __all__ = [
     "enumerate_campaign_tasks",
     "forecast_policy",
     "format_records",
+    "format_run_records",
     "format_table",
     "get_scale",
     "run_compressor_ablation",

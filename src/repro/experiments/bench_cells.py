@@ -54,23 +54,18 @@ def enumerate_bench_cell_units(scale: ExperimentScale) -> List[dict]:
 
 def run_bench_cell_unit(
     scale: ExperimentScale, mix: str, policy: str, seed: int = 0
-) -> dict:
-    """Simulate one cell; return deterministic counters only."""
+):
+    """Simulate one cell; returns its deterministic RunRecord."""
     workload = scale.workload(mix, seed=seed)
-    result = run_one(
+    record = run_one(
         scale.system(),
         make_policy(policy),
         workload,
         warmup_epochs=BENCH_CELL_WARMUP_EPOCHS,
         measure_epochs=BENCH_CELL_EPOCHS,
     )
-    llc = result.stats.llc
-    return {
-        "mix": mix,
-        "policy": policy,
-        "seed": seed,
-        "llc_accesses": llc.accesses,
-        "llc_hits": llc.hits,
-        "nvm_bytes_written": llc.nvm_bytes_written,
-        "mean_ipc": result.mean_ipc,
-    }
+    record.meta.update(
+        {"experiment": "bench_cells", "mix": mix,
+         "unit_policy": policy, "seed": seed}
+    )
+    return record

@@ -135,8 +135,19 @@ def enumerate_campaign_tasks(
 
 
 def run_campaign_task(experiment: str, unit: Mapping, scale_name: str) -> dict:
-    """Execute one unit (inside a campaign worker process)."""
+    """Execute one unit (inside a campaign worker process).
+
+    Every unit runner returns a :class:`~repro.metrics.RunRecord`;
+    the worker envelope stores its validated JSON payload, so campaign
+    results, the memo result cache and the exporters all share the one
+    versioned record shape.
+    """
+    from ..metrics import RunRecord
     from .common import get_scale
 
     scale = get_scale(scale_name)
-    return EXPERIMENTS[experiment].run_unit(scale, **dict(unit))
+    record = EXPERIMENTS[experiment].run_unit(scale, **dict(unit))
+    if isinstance(record, RunRecord):
+        record.meta.setdefault("scale", scale.name)
+        return record.to_json()
+    return record

@@ -184,6 +184,12 @@ def run_one(
 ):
     """One warm-up-then-measure simulation (shared by the sweeps).
 
+    Returns a :class:`~repro.metrics.RunRecord` built from the live
+    :class:`~repro.engine.SimulationResult`: record consumers read
+    ``.metrics``/``.meta``/``.events``, while pre-spine callers keep
+    using the delegated accessors (``stats``, ``epochs``, ``llc_hits``,
+    …) unchanged — including the byte-identity golden digests.
+
     ``capacities`` optionally preloads an aged NVM fault map (shape
     ``(n_sets, nvm_ways)``) before the run — how the capacity-sweep
     experiments model a worn cache.
@@ -199,12 +205,23 @@ def run_one(
     import dataclasses as _dc
 
     from ..engine import Simulation
+    from ..manifest import describe_policy, describe_workload
     from ..memo.snapshots import shared_snapshot_store, warm_prefix_key
+
+    # Provenance is captured from the *pre-run* policy state so the
+    # record is identical whether the warmup ran or was restored.
+    meta = {
+        "policy": describe_policy(policy),
+        "workload": describe_workload(workload),
+        "warmup_epochs": warmup_epochs,
+        "measure_epochs": measure_epochs,
+    }
 
     epoch = config.dueling.epoch_cycles
     warmup = epoch * warmup_epochs
     total = epoch * (warmup_epochs + measure_epochs)
     store = shared_snapshot_store()
+    result = None
     if store is not None and warmup > 0:
         key = warm_prefix_key(config, policy, workload, warmup, capacities)
         if key is not None:
@@ -222,15 +239,28 @@ def run_one(
                 prefix_epochs = [_dc.replace(e) for e in entry.epochs]
             result = sim.run_until(total, warmup_until=warmup)
             result.epochs[:0] = prefix_epochs
-            return result
 
-    sim = Simulation(config, policy, workload)
-    if capacities is not None:
-        sim.hierarchy.llc.faultmap.load_capacities(capacities)
-    return sim.run(
-        cycles=total,
-        warmup_cycles=warmup,
-    )
+    if result is None:
+        sim = Simulation(config, policy, workload)
+        if capacities is not None:
+            sim.hierarchy.llc.faultmap.load_capacities(capacities)
+        result = sim.run(cycles=total, warmup_cycles=warmup)
+
+    return _record_from_sim(sim, result, meta)
+
+
+def _record_from_sim(sim, result, meta):
+    """Collect every registered layer of a finished simulation."""
+    from ..metrics import REGISTRY
+
+    # sim.policy (not the caller's argument) so the snapshot-restored
+    # and cold paths observe the same post-run policy state.
+    record = result.to_run_record(meta=meta, policy=sim.policy)
+    record.metrics.update(REGISTRY.collect("nvm", sim.hierarchy.llc.wear))
+    controller = getattr(sim.policy, "controller", None)
+    if controller is not None:
+        record.metrics.update(REGISTRY.collect("duel", controller))
+    return record
 
 
 def aged_capacities(

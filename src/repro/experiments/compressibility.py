@@ -16,9 +16,20 @@ from typing import Dict, List, Optional, Sequence
 
 from ..compression.bdi import DEFAULT_COMPRESSOR
 from ..compression.encodings import classify
+from ..metrics.registry import register_metric
 from ..workloads.data import DataModel
 from ..workloads.profiles import APP_NAMES, profile
 from ..workloads.trace import CORE_ADDR_SHIFT
+
+register_metric("fig2", "hcr", "fraction",
+                "Share of blocks compressing to the high-ratio class",
+                aggregation="mean")
+register_metric("fig2", "lcr", "fraction",
+                "Share of blocks compressing to the low-ratio class",
+                aggregation="mean")
+register_metric("fig2", "incompressible", "fraction",
+                "Share of blocks the compressor cannot shrink",
+                aggregation="mean")
 
 
 @dataclass(frozen=True)
@@ -81,12 +92,22 @@ def enumerate_fig2_units(scale, apps: Optional[Sequence[str]] = None) -> List[di
     return [{"app": app} for app in (apps or APP_NAMES)]
 
 
-def run_fig2_unit(scale, app: str, n_blocks: int = 512, seed: int = 0) -> dict:
-    """Classify one app's blocks; the campaign-worker entry point."""
+def run_fig2_unit(scale, app: str, n_blocks: int = 512, seed: int = 0):
+    """Classify one app's blocks; the campaign-worker entry point.
+
+    Returns a :class:`~repro.metrics.RunRecord` with the
+    compressibility split as registered ``fig2.*`` metrics.
+    """
+    from ..metrics import RunRecord
+
     row = classify_app(app, n_blocks=n_blocks, seed=seed)
-    return {
-        "app": row.app,
-        "hcr": row.hcr,
-        "lcr": row.lcr,
-        "incompressible": row.incompressible,
-    }
+    return RunRecord(
+        kind="unit",
+        meta={"experiment": "fig2", "app": row.app,
+              "n_blocks": n_blocks, "seed": seed},
+        metrics={
+            "fig2.hcr": row.hcr,
+            "fig2.lcr": row.lcr,
+            "fig2.incompressible": row.incompressible,
+        },
+    )

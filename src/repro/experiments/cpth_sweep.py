@@ -141,19 +141,23 @@ def run_cpth_unit(
     cpth: Optional[int] = None,
     warmup_epochs: float = 6,
     measure_epochs: float = 3,
-) -> dict:
-    """One Fig. 6/7 simulation; the campaign-worker entry point."""
+):
+    """One Fig. 6/7 simulation; the campaign-worker entry point.
+
+    Returns the full :class:`~repro.metrics.RunRecord` of the run —
+    aggregation (normalising to the per-mix ``bh`` unit) reads
+    ``llc.*`` / ``sim.*`` metrics instead of a bespoke three-key dict.
+    """
     config = scale.system()
     kwargs = {} if cpth is None else {"cpth": int(cpth)}
-    res = run_one(
+    record = run_one(
         config,
         make_policy(policy, **kwargs),
         scale.workload(mix),
         warmup_epochs,
         measure_epochs,
     )
-    return {
-        "llc_hits": res.llc_hits,
-        "nvm_bytes_written": res.nvm_bytes_written,
-        "mean_ipc": res.mean_ipc,
-    }
+    record.meta.update({"experiment": "fig6", "mix": mix, "unit_policy": policy})
+    if cpth is not None:
+        record.meta["cpth"] = int(cpth)
+    return record

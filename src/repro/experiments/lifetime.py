@@ -27,7 +27,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import make_policy
 from ..forecast import ForecastResult, Forecaster
+from ..metrics.registry import register_metric
 from .common import ExperimentScale, get_scale, run_one
+
+register_metric("forecast", "initial_ipc", "instructions/cycle",
+                "IPC of the fresh-cache phase of a lifetime forecast",
+                aggregation="mean")
+register_metric("forecast", "lifetime_seconds", "s",
+                "Forecast time to 50% NVM effective capacity "
+                "(or the horizon, if the stop was not reached)",
+                aggregation="mean")
+register_metric("forecast", "bound_ipc", "instructions/cycle",
+                "IPC of an SRAM-only LLC bound configuration",
+                aggregation="mean")
 
 #: (key, policy name, kwargs) for the standard Fig. 1/10a line-up.
 STANDARD_POLICIES: Tuple[Tuple[str, str, dict], ...] = (
@@ -262,11 +274,22 @@ def run_lifetime_unit(
     cv: float = 0.2,
     l2_kib: Optional[int] = None,
     nvm_latency_factor: float = 1.0,
-) -> dict:
-    """One forecast or bound simulation; the campaign-worker entry point."""
+):
+    """One forecast or bound simulation; the campaign-worker entry point.
+
+    Returns a :class:`~repro.metrics.RunRecord` of kind ``bound`` or
+    ``forecast`` carrying the registered ``forecast.*`` metrics.
+    """
+    from ..metrics import RunRecord
+
     workload = scale.workload(mix)
     if kind == "bound":
-        return {"ipc": bound_ipc(scale, workload, int(ways))}
+        return RunRecord(
+            kind="bound",
+            meta={"experiment": "fig10a", "mix": mix,
+                  "unit": {"kind": "bound", "ways": int(ways)}},
+            metrics={"forecast.bound_ipc": bound_ipc(scale, workload, int(ways))},
+        )
     if kind != "forecast":
         raise ValueError(f"unknown lifetime unit kind {kind!r}")
     config = scale.system(
@@ -278,8 +301,15 @@ def run_lifetime_unit(
     )
     name, kwargs = POLICY_SPECS[policy]
     result = forecast_policy(scale, config, make_policy(name, **kwargs), workload)
-    return {
-        "initial_ipc": result.initial_ipc,
-        "lifetime_seconds": result.lifetime_or_horizon_seconds(),
-        "reached_stop": bool(result.reached_stop),
-    }
+    return RunRecord(
+        kind="forecast",
+        meta={"experiment": "fig10a", "mix": mix,
+              "unit": {"kind": "forecast", "policy": policy}},
+        metrics={
+            "forecast.initial_ipc": float(result.initial_ipc),
+            "forecast.lifetime_seconds": float(
+                result.lifetime_or_horizon_seconds()
+            ),
+        },
+        values={"reached_stop": bool(result.reached_stop)},
+    )

@@ -153,8 +153,15 @@ def run_fig8_unit(
     cpth_values: Sequence[int] = CPTH_LADDER,
     warmup_epochs: float = 5,
     measure_epochs: float = 6,
-) -> dict:
-    """One winner-distribution cell; the campaign-worker entry point."""
+):
+    """One winner-distribution cell; the campaign-worker entry point.
+
+    Returns a :class:`~repro.metrics.RunRecord` with the per-CP_th
+    winner shares in ``values["shares"]`` (dynamic keys, so they live
+    in ``values`` rather than the registered-metric namespace).
+    """
+    from ..metrics import RunRecord
+
     config = scale.system()
     caps = (
         aged_capacities(config, capacity_pct / 100.0)
@@ -170,4 +177,10 @@ def run_fig8_unit(
         warmup_epochs,
         measure_epochs,
     )
-    return {"shares": {str(cpth): share for cpth, share in dist.shares.items()}}
+    return RunRecord(
+        kind="unit",
+        meta={"experiment": "fig8a", "mix": mix,
+              "capacity_pct": capacity_pct},
+        values={"shares": {str(cpth): share
+                           for cpth, share in dist.shares.items()}},
+    )

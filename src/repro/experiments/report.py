@@ -45,3 +45,30 @@ def format_records(records: Sequence[Mapping[str, Cell]], title: str = "") -> st
     headers = list(records[0].keys())
     rows = [[record.get(h) for h in headers] for record in records]
     return format_table(headers, rows, title=title)
+
+
+def format_run_records(records, title: str = "") -> str:
+    """Render :class:`~repro.metrics.RunRecord` objects as a metric table.
+
+    One row per record; columns are the union of metric names in
+    first-seen order, preceded by the record's kind and a short label
+    (``meta`` task id / label / experiment when present).
+    """
+    from ..metrics.export import record_label
+
+    if not records:
+        return format_records([], title=title)
+    headers: List[str] = []
+    for record in records:
+        for name in record.metrics:
+            if name not in headers:
+                headers.append(name)
+    flat = [
+        {
+            "record": record_label(record, i),
+            "kind": record.kind,
+            **{name: record.metrics.get(name) for name in headers},
+        }
+        for i, record in enumerate(records)
+    ]
+    return format_records(flat, title=title)

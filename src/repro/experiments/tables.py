@@ -116,6 +116,16 @@ def enumerate_table_units(scale) -> List[dict]:
     return [{"table": name} for name in sorted(TABLE_RUNNERS)]
 
 
-def run_table_unit(scale, table: str) -> dict:
-    """Regenerate one table; the campaign-worker entry point."""
-    return {"rows": TABLE_RUNNERS[table]()}
+def run_table_unit(scale, table: str):
+    """Regenerate one table; the campaign-worker entry point.
+
+    Returns a :class:`~repro.metrics.RunRecord` of kind ``table``
+    whose rows live in ``values["rows"]``.
+    """
+    from ..metrics import RunRecord
+
+    return RunRecord(
+        kind="table",
+        meta={"experiment": "tables", "table": table},
+        values={"rows": TABLE_RUNNERS[table]()},
+    )

@@ -109,12 +109,15 @@ def run_fig9_unit(
     capacity_pct: int = 100,
     warmup_epochs: float = 6,
     measure_epochs: float = 6,
-) -> dict:
-    """One Fig. 9 simulation; the campaign-worker entry point."""
+):
+    """One Fig. 9 simulation; the campaign-worker entry point.
+
+    Returns the run's :class:`~repro.metrics.RunRecord`.
+    """
     config = scale.system()
     caps = aged_capacities(config, capacity_pct / 100.0) if capacity_pct < 100 else None
     kwargs = {} if policy == "bh" else {"th": float(th), "tw": tw}
-    res = run_one(
+    record = run_one(
         config,
         make_policy(policy, **kwargs),
         scale.workload(mix),
@@ -122,8 +125,14 @@ def run_fig9_unit(
         measure_epochs,
         capacities=caps,
     )
-    return {
-        "llc_hits": res.llc_hits,
-        "nvm_bytes_written": res.nvm_bytes_written,
-        "mean_ipc": res.mean_ipc,
-    }
+    record.meta.update(
+        {
+            "experiment": "fig9",
+            "mix": mix,
+            "unit_policy": policy,
+            "th": th,
+            "tw": tw,
+            "capacity_pct": capacity_pct,
+        }
+    )
+    return record

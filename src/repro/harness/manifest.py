@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..manifest import library_info
 from .chaos import ChaosConfig
 from .checkpoint import verify_result, write_json_atomic
 from .errors import CampaignConfigError, CorruptResultError
@@ -151,6 +152,7 @@ class CampaignManifest:
             self.path,
             {
                 "format": MANIFEST_FORMAT,
+                "library": library_info(),
                 "scale": self.scale,
                 "experiments": list(self.experiments),
                 "chaos": self.chaos,

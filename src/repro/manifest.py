@@ -6,6 +6,12 @@ system configuration, the policy and its parameters, the workload
 composition, seeds, scale and library version — as a plain dict;
 ``save_manifest``/``load_manifest`` round-trip it through JSON.  Every
 benchmark artefact can be regenerated from its manifest alone.
+
+This module is the *single* home of identity serialisation: the
+campaign manifest (:mod:`repro.harness.manifest`), the memo layer
+(:mod:`repro.memo.fingerprint`) and the exporters all import
+:func:`canonical_json` / :func:`dataclass_dict` / :func:`library_info`
+/ ``describe_*`` from here instead of re-deriving field lists.
 """
 
 from __future__ import annotations
@@ -13,28 +19,45 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from . import __version__
-from .config import SystemConfig
-from .core.policy import InsertionPolicy
-from .engine import Workload
+
+if TYPE_CHECKING:  # identity helpers stay import-light for workers
+    from .config import SystemConfig
+    from .core.policy import InsertionPolicy
+    from .engine import Workload
 
 PathLike = Union[str, Path]
 
 
-def _dataclass_dict(obj: Any) -> Any:
+def canonical_json(payload: Any) -> str:
+    """The repo-wide canonical rendering used for content hashing."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def dataclass_dict(obj: Any) -> Any:
+    """Recursively render dataclasses (and sequences of them) as dicts."""
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
-            f.name: _dataclass_dict(getattr(obj, f.name))
+            f.name: dataclass_dict(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
         }
     if isinstance(obj, (list, tuple)):
-        return [_dataclass_dict(v) for v in obj]
+        return [dataclass_dict(v) for v in obj]
     return obj
 
 
-def describe_policy(policy: InsertionPolicy) -> Dict[str, Any]:
+# Deprecated alias: prefer :func:`dataclass_dict`.
+_dataclass_dict = dataclass_dict
+
+
+def library_info() -> Dict[str, str]:
+    """The producing library's identity, stamped into every manifest."""
+    return {"name": "repro", "version": __version__}
+
+
+def describe_policy(policy: "InsertionPolicy") -> Dict[str, Any]:
     """Name, taxonomy and tunables of a policy instance."""
     info: Dict[str, Any] = dict(policy.taxonomy())
     for attr in ("cpth", "th", "tw", "hit_threshold", "decay_epochs",
@@ -42,11 +65,11 @@ def describe_policy(policy: InsertionPolicy) -> Dict[str, Any]:
         if hasattr(policy, attr):
             info[attr] = getattr(policy, attr)
     if getattr(policy, "dueling_config", None) is not None:
-        info["dueling"] = _dataclass_dict(policy.dueling_config)
+        info["dueling"] = dataclass_dict(policy.dueling_config)
     return info
 
 
-def describe_workload(workload: Workload) -> Dict[str, Any]:
+def describe_workload(workload: "Workload") -> Dict[str, Any]:
     """Apps, seeds and trace dimensions of a workload."""
     return {
         "seed": workload.seed,
@@ -58,15 +81,15 @@ def describe_workload(workload: Workload) -> Dict[str, Any]:
 
 
 def build_manifest(
-    config: SystemConfig,
-    policy: InsertionPolicy,
-    workload: Workload,
+    config: "SystemConfig",
+    policy: "InsertionPolicy",
+    workload: "Workload",
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The complete provenance record of one run."""
     manifest: Dict[str, Any] = {
-        "library": {"name": "repro", "version": __version__},
-        "system": _dataclass_dict(config),
+        "library": library_info(),
+        "system": dataclass_dict(config),
         "policy": describe_policy(policy),
         "workload": describe_workload(workload),
     }

@@ -15,8 +15,15 @@ requires updating this literal, which rolls every memo key.
 from __future__ import annotations
 
 import hashlib
-import json
-from typing import Any
+
+# Canonical rendering lives in repro.manifest (the single identity-
+# serialisation home); re-exported here for existing importers.
+from ..manifest import canonical_json
+
+__all__ = [
+    "MEMO_SCHEMA", "EMBEDDED_GOLDEN_DIGESTS", "canonical_json",
+    "code_fingerprint",
+]
 
 #: Schema version of the memoized payloads themselves; bump to shed
 #: every existing cache entry without touching the goldens.
@@ -28,11 +35,6 @@ EMBEDDED_GOLDEN_DIGESTS = {
     "ca_rwr": "80eee0f5f939548d51c718ec80b9a0787a7618f54b13b4bce4d50b822bd7a2ae",
     "cp_sd": "0769cb1de2abe84f5f96b591e33918e5238b1da50a4d7f257481875f354d5ad0",
 }
-
-
-def canonical_json(payload: Any) -> str:
-    """The repo-wide canonical rendering used for content hashing."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def code_fingerprint() -> str:

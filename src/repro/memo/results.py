@@ -33,7 +33,9 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
-from .fingerprint import canonical_json, code_fingerprint
+from ..manifest import canonical_json
+from ..metrics import RUN_RECORD_SCHEMA, RunRecord, SchemaError
+from .fingerprint import code_fingerprint
 
 RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
 
@@ -58,6 +60,9 @@ def result_cache_key(
             "experiment": experiment,
             "unit": dict(unit),
             "scale": scale,
+            # A RunRecord schema bump sheds every old-shape entry at
+            # the *key* level, on top of the get()-time validation.
+            "record_schema": RUN_RECORD_SCHEMA,
         }
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -86,6 +91,12 @@ class ResultCache:
         ``task_id``, when given, must match the payload's recorded
         task id — a belt-and-braces check on top of the key (a
         hand-renamed entry serves a miss, not a wrong result).
+
+        The embedded result must also parse as a *current-schema*
+        :class:`~repro.metrics.RunRecord`: an entry whose keys have
+        drifted from the live schema (renamed metric, old version,
+        extra fields) is stale and must be recomputed, never trusted —
+        the pre-spine cache passed unknown shapes through unvalidated.
         """
         try:
             text = self.path_for(key).read_text(encoding="utf-8")
@@ -98,6 +109,10 @@ class ResultCache:
         if not isinstance(payload, dict) or payload.get("status") != "ok":
             return None
         if task_id is not None and payload.get("task_id") != task_id:
+            return None
+        try:
+            RunRecord.from_json(payload.get("result"))
+        except SchemaError:
             return None
         return payload
 

@@ -14,6 +14,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..metrics.registry import register_metric
+
+# Collected from the LLC's WearTracker at record-building time; the
+# per-write accumulation path stays plain nested-list arithmetic.
+register_metric("nvm", "bytes_written", "bytes",
+                "Total bytes charged to NVM frames over the phase",
+                attr="total_bytes_written")
+register_metric("nvm", "writes", "count",
+                "Total NVM frame writes over the phase",
+                attr="total_writes")
+
 
 class WearTracker:
     """Per-frame byte-write accumulators for one simulation phase.

@@ -24,6 +24,7 @@ from typing import Dict
 
 from ..cache.stats import HierarchyStats
 from ..config import SystemConfig
+from ..metrics.registry import REGISTRY, register_metric
 
 
 @dataclass(frozen=True)
@@ -79,20 +80,33 @@ class EnergyBreakdown:
             + self.nvm_leakage
         )
 
+    # Deprecated: thin wrapper over the registry collector (see
+    # repro.metrics.registry); kept one release for external callers.
+    # Keys and values match the historical hand-rolled dict exactly.
     def as_dict(self) -> Dict[str, float]:
-        return {
-            "l1_dynamic": self.l1_dynamic,
-            "l2_dynamic": self.l2_dynamic,
-            "llc_sram_read": self.llc_sram_read,
-            "llc_sram_write": self.llc_sram_write,
-            "llc_nvm_read": self.llc_nvm_read,
-            "llc_nvm_write": self.llc_nvm_write,
-            "memory_dynamic": self.memory_dynamic,
-            "sram_leakage": self.sram_leakage,
-            "nvm_leakage": self.nvm_leakage,
-            "llc_total": self.llc_total,
-            "total": self.total,
-        }
+        return REGISTRY.collect_raw("energy", self)
+
+
+# Declaration order mirrors the historical as_dict() key order.
+for _name, _doc in (
+    ("l1_dynamic", "Dynamic energy of all L1 accesses"),
+    ("l2_dynamic", "Dynamic energy of all L2 accesses"),
+    ("llc_sram_read", "Dynamic energy of LLC SRAM-part reads"),
+    ("llc_sram_write", "Dynamic energy of LLC SRAM-part writes"),
+    ("llc_nvm_read", "Dynamic energy of LLC NVM-part reads"),
+    ("llc_nvm_write", "Dynamic energy of LLC NVM-part writes "
+                      "(scaled by bytes actually written)"),
+    ("memory_dynamic", "Dynamic energy of main-memory accesses"),
+    ("sram_leakage", "SRAM leakage over the measured window"),
+    ("nvm_leakage", "NVM leakage over the measured window"),
+):
+    register_metric("energy", _name, "nJ", _doc)
+register_metric("energy", "llc_total", "nJ",
+                "LLC dynamic energy plus both leakage terms",
+                aggregation="derived")
+register_metric("energy", "total", "nJ",
+                "Total energy of the measured window",
+                aggregation="derived")
 
 
 class EnergyModel:

@@ -60,8 +60,22 @@ def test_run_bench_document_schema(bench_document):
 def test_write_bench_roundtrip(bench_document, tmp_path):
     path = write_bench(bench_document, tmp_path)
     assert path.name == "BENCH_unittest.json"
-    assert load_bench(path) == json.loads(path.read_text())
+    # On disk: the versioned RunRecord envelope, document embedded
+    # verbatim with the geomean surfaced as a registered metric.
+    on_disk = json.loads(path.read_text())
+    assert on_disk["schema"] == "repro-run/1"
+    assert on_disk["kind"] == "bench"
+    assert on_disk["values"]["document"] == bench_document
+    assert on_disk["metrics"]["bench.geomean_mcycles_per_s"] == (
+        bench_document["geomean_mcycles_per_s"]
+    )
+    # load_bench unwraps back to the timing document ...
+    assert load_bench(path) == bench_document
     assert load_bench(tmp_path / "BENCH_absent.json") is None
+    # ... and still reads a legacy raw document.
+    legacy = tmp_path / "BENCH_legacy.json"
+    legacy.write_text(json.dumps(bench_document))
+    assert load_bench(legacy) == bench_document
 
 
 # ----------------------------------------------------------------------

@@ -66,10 +66,22 @@ def test_result_cache_key_sensitivity():
     assert key == result_cache_key(**{**base, "unit": reordered})
 
 
+def _valid_payload(task_id="t1"):
+    """A worker envelope around a minimal current-schema RunRecord."""
+    from repro.metrics import RunRecord
+
+    record = RunRecord(
+        kind="unit",
+        meta={"experiment": "tables"},
+        metrics={"llc.gets": 1},
+    )
+    return {"status": "ok", "task_id": task_id, "result": record.to_json()}
+
+
 def test_result_cache_roundtrip_and_defect_tolerance(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     key = "ab" * 32
-    payload = {"status": "ok", "task_id": "t1", "result": {"x": 1}}
+    payload = _valid_payload()
 
     assert cache.get(key) is None  # empty cache, no directory yet
     assert cache.put(key, payload)
@@ -89,6 +101,44 @@ def test_result_cache_roundtrip_and_defect_tolerance(tmp_path):
 
     # Unserialisable payloads fail the put, not the campaign.
     assert not cache.put(key, {"status": "ok", "bad": object()})
+
+
+def test_stale_record_shapes_are_recomputed_not_served(tmp_path):
+    """Entries whose stored record drifted from the schema are misses.
+
+    Simulates the silent-drift failure mode: a cache written by an
+    older library whose record shape differs from today's — renamed
+    metric keys, an old schema tag, extra top-level fields.  All must
+    read as *stale* (miss -> recompute), never be served as-is.
+    """
+    cache = ResultCache(tmp_path / "cache")
+    key = "cd" * 32
+    assert cache.put(key, _valid_payload())
+    assert cache.get(key) is not None
+
+    def corrupt(mutate):
+        payload = _valid_payload()
+        mutate(payload["result"])
+        cache.path_for(key).write_text(json.dumps(payload))
+        return cache.get(key)
+
+    # Hand-renamed metric key (e.g. a pre-registry snapshot field).
+    assert corrupt(
+        lambda r: r.update(metrics={"llc.access_count": 1})
+    ) is None
+    # Old/unknown schema version tag.
+    assert corrupt(lambda r: r.update(schema="repro-run/0")) is None
+    # Extra top-level field from a newer writer.
+    assert corrupt(lambda r: r.update(extra={"x": 1})) is None
+    # Result that is not a record at all (the pre-spine payload shape).
+    payload = _valid_payload()
+    payload["result"] = {"x": 1}
+    cache.path_for(key).write_text(json.dumps(payload))
+    assert cache.get(key) is None
+
+    # And a pristine entry still serves after all that.
+    assert cache.put(key, _valid_payload())
+    assert cache.get(key) == _valid_payload()
 
 
 FAST = CampaignSettings(jobs=2, task_timeout=60, retries=2, backoff_base=0.01)
