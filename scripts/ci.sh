@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the full test suite plus a fast performance smoke.
 #
-# Usage: scripts/ci.sh [--skip-tests|--skip-bench|--skip-memo|--skip-schema]
+# Usage: scripts/ci.sh
+#   [--skip-tests|--skip-bench|--skip-memo|--skip-schema|--skip-durability]
 #
 # The bench leg runs a *reduced* matrix (3 policies x 1 mix, smoke
 # scale, best-of-3) against the committed full-matrix baseline —
@@ -17,12 +18,14 @@ RUN_TESTS=1
 RUN_BENCH=1
 RUN_MEMO=1
 RUN_SCHEMA=1
+RUN_DURABILITY=1
 for arg in "$@"; do
   case "$arg" in
     --skip-tests) RUN_TESTS=0 ;;
     --skip-bench) RUN_BENCH=0 ;;
     --skip-memo) RUN_MEMO=0 ;;
     --skip-schema) RUN_SCHEMA=0 ;;
+    --skip-durability) RUN_DURABILITY=0 ;;
     *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -67,6 +70,30 @@ if [[ "$RUN_MEMO" == 1 ]]; then
   MEMO_OUT="$(mktemp -d)"
   trap 'rm -rf "${BENCH_OUT:-}" "$MEMO_OUT"' EXIT
   python -m repro bench --memo --scale smoke --out "$MEMO_OUT"
+fi
+
+if [[ "$RUN_DURABILITY" == 1 ]]; then
+  echo "== ci: storage durability under disk-fault chaos =="
+  # A short campaign with disk-level chaos (torn result writes and
+  # payload bit flips at p=0.3, inside the workers) must lose zero
+  # tasks — every defect is caught by the envelope checksums and
+  # retried — and the surviving artefacts must pass a strict
+  # post-mortem audit (corrupt ones sit quarantined with reason
+  # records, which the doctor skips by design).
+  DURA_OUT="$(mktemp -d)"
+  trap 'rm -rf "${BENCH_OUT:-}" "${MEMO_OUT:-}" "$DURA_OUT"' EXIT
+  python -m repro campaign \
+    --scale smoke \
+    --out "$DURA_OUT/campaign" \
+    --experiments tables \
+    --chaos p=0.3,kinds=disk-torn,disk-flip \
+    --retries 8 \
+    --timeout 120 \
+    --backoff 0.05 \
+    --jobs 2
+  python -m repro doctor --strict "$DURA_OUT/campaign"
+  # ... and the committed artefacts audit clean too.
+  python -m repro doctor --strict
 fi
 
 echo "== ci: OK =="

@@ -85,16 +85,18 @@ class BenchComparison:
 def load_bench(path: PathLike) -> Optional[dict]:
     """Load a BENCH_*.json document, or None if the file is absent.
 
-    Artefacts are RunRecord envelopes (``values["document"]`` holds the
-    timing document); raw pre-envelope documents are still accepted so
-    old baselines keep comparing.
+    Artefacts are checksummed ``repro-blob/1`` envelopes around a
+    RunRecord (``values["document"]`` holds the timing document); bare
+    RunRecord envelopes and raw pre-envelope documents are still
+    accepted so old baselines keep comparing.
     """
     path = Path(path)
     if not path.exists():
         return None
-    data = json.loads(path.read_text())
+    from ..fsio.durable import unwrap_json
     from ..metrics import RunRecord, is_run_record_payload
 
+    data = unwrap_json(json.loads(path.read_text()), path=path)
     if is_run_record_payload(data):
         return RunRecord.from_json(data).values.get("document", {})
     return data

@@ -18,7 +18,6 @@ no single fast case can buy back a regression elsewhere.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -30,11 +29,14 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..core import make_policy
 from ..engine import Simulation, Workload
 from ..experiments.common import ExperimentScale, geometric_mean
+from ..fsio.durable import write_blob_json
 from ..metrics import RunRecord
 from ..metrics.registry import register_metric
 
 #: Schema tag of the embedded bench document (bump on layout change);
-#: the artefact on disk is a RunRecord envelope around it.
+#: the artefact on disk is a RunRecord envelope around it, inside a
+#: checksummed ``repro-blob/1`` envelope tagged with this schema.
+BENCH_ARTIFACT_SCHEMA = "repro-bench-artifact/1"
 BENCH_SCHEMA = "repro-bench/1"
 
 register_metric("bench", "geomean_mcycles_per_s", "Mcycles/s",
@@ -244,16 +246,17 @@ def bench_record(document: dict) -> RunRecord:
 
 
 def write_bench(document: dict, out_dir: PathLike) -> Path:
-    """Write ``BENCH_<label>.json`` under ``out_dir`` (atomically).
+    """Write ``BENCH_<label>.json`` under ``out_dir`` (durably).
 
-    The on-disk artefact is the RunRecord envelope of the document —
-    one schema shared with campaign results and the memo cache.
+    The on-disk artefact is the RunRecord envelope of the document,
+    wrapped in the checksummed ``repro-blob/1`` envelope and committed
+    through the crash-consistent fsio path — one format shared with
+    campaign results and the memo cache, auditable by ``repro
+    doctor``.  Pre-envelope artefacts stay loadable via
+    :func:`repro.bench.compare.load_bench`'s legacy passthrough.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{document['label']}.json"
-    tmp = out_dir / f".{path.name}.tmp.{os.getpid()}"
-    payload = bench_record(document).to_json()
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, path)
+    write_blob_json(path, bench_record(document).to_json(), BENCH_ARTIFACT_SCHEMA)
     return path

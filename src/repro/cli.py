@@ -11,6 +11,8 @@ Commands
 ``bench``     — engine speed benchmark with baseline regression gate
 ``export``    — convert RunRecord artefacts to json/csv/jsonl/prom,
                 or ``--check`` committed artefacts for schema drift
+``doctor``    — audit artefact integrity (envelopes, checksums,
+                schemas); ``--repair`` quarantines, ``--strict`` gates
 
 Unknown mix/policy/scale/experiment names exit with code 2 and a
 one-line "did you mean" suggestion instead of a traceback.
@@ -479,6 +481,18 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from .fsio.doctor import run_doctor
+
+    report = run_doctor(args.paths, repair=args.repair)
+    for finding in report.findings:
+        print(finding.line(), file=sys.stderr)
+    print(report.summary())
+    if args.strict:
+        return 0 if report.ok else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -606,6 +620,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "golden digests against the current schema; "
                         "extra PATHs are checked too; exits 1 on drift")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "doctor",
+        help="audit artefact integrity: envelopes, checksums, schemas, "
+             "stale fingerprints; reports a failure taxonomy",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="artefact files, campaign directories, or cache "
+                        "directories (default: the committed bench "
+                        "artefacts and golden digests)")
+    p.add_argument("--repair", action="store_true",
+                   help="move corrupt artefacts to quarantine/ with a "
+                        "structured reason record")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on any corruption finding (CI gate); "
+                        "warnings (stale cache entries) never fail")
+    p.set_defaults(func=cmd_doctor)
     return parser
 
 

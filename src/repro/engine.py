@@ -18,6 +18,7 @@ from __future__ import annotations
 import copy
 import gc
 import heapq
+import logging
 from dataclasses import dataclass, field, fields
 from typing import Iterator, List, Optional, Sequence
 
@@ -28,6 +29,7 @@ from .metrics.registry import register_metric
 from .core.policy import InsertionPolicy
 from .timing.core_model import AnalyticalCore
 from .workloads.cache import (
+    SidecarError,
     load_or_materialize,
     load_sizes_sidecar,
     save_sizes_sidecar,
@@ -36,6 +38,12 @@ from .workloads.data import DataModel
 from .workloads.mixes import mix_profiles
 from .workloads.profiles import AppProfile
 from .workloads.trace import MaterializedTrace, TraceRecord
+
+register_metric(
+    "workload", "sidecar_redraws", "count",
+    "Corrupt .sizes sidecars that were quarantined and redrawn while "
+    "building this workload (0 on a healthy cache)",
+)
 
 
 class Workload:
@@ -51,6 +59,9 @@ class Workload:
             raise ValueError("need at least one profile")
         self.profiles = list(profiles)
         self.seed = seed
+        #: Corrupt sidecars this build quarantined and redrew —
+        #: collected into RunRecords so quiet corruption is visible.
+        self.sidecar_redraws = 0
         self.data_model = DataModel(self.profiles, seed=seed)
         self.traces: List[MaterializedTrace] = [
             load_or_materialize(prof, core, seed, trace_records_per_core)
@@ -64,9 +75,20 @@ class Workload:
         # sidecar keyed by the same content hash, so the whole policy
         # matrix synthesises BDI sizes for a given trace exactly once.
         for core, (prof, trace) in enumerate(zip(self.profiles, self.traces)):
-            sizes = load_sizes_sidecar(
-                prof, core, seed, trace_records_per_core
-            )
+            try:
+                sizes = load_sizes_sidecar(
+                    prof, core, seed, trace_records_per_core
+                )
+            except SidecarError as exc:
+                logging.getLogger(__name__).warning(
+                    "corrupt sizes sidecar quarantined, redrawing: %s", exc
+                )
+                # Corrupt (now quarantined): redraw and re-persist.
+                # The draw is a pure function of (profile, seed,
+                # address), so results are unaffected — only the
+                # counter distinguishes this run from a healthy one.
+                self.sidecar_redraws += 1
+                sizes = None
             if sizes is not None:
                 self.data_model.preload_sizes(sizes)
             else:

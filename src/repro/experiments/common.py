@@ -260,6 +260,9 @@ def _record_from_sim(sim, result, meta):
     controller = getattr(sim.policy, "controller", None)
     if controller is not None:
         record.metrics.update(REGISTRY.collect("duel", controller))
+    # Storage-health provenance: 0 on a healthy cache, so clean runs
+    # stay byte-identical while quiet corruption becomes visible.
+    record.metrics.update(REGISTRY.collect("workload", sim.workload))
     return record
 
 

@@ -1,0 +1,338 @@
+"""Atomic writes and the checksummed ``repro-blob/1`` envelope.
+
+Two primitives everything else builds on:
+
+* :func:`atomic_write_bytes` — serialise to a temporary file in the
+  *same directory*, ``fsync`` it, ``os.replace`` over the final path,
+  then ``fsync`` the parent directory so the rename survives a power
+  cut.  A reader only ever sees the previous complete version or the
+  new complete version, never a torn write.
+* the **blob envelope** — a versioned wrapper carrying a schema tag,
+  the payload's canonical length and its SHA-256, so a reader can
+  prove an artefact is the artefact its writer finished, not a prefix
+  of it or a bit-rotted sibling.  JSON artefacts use the JSON form::
+
+      {"format": "repro-blob/1", "schema": "<tag>",
+       "length": N, "sha256": "<hex>", "payload": {...}}
+
+  where length/sha256 are computed over the *canonical JSON* rendering
+  of the payload (sorted keys, compact separators), so they are stable
+  under any outer pretty-printing.  Binary artefacts (the ``.sizes``
+  sidecars) use a packed header form with the same fields.
+
+Both readers accept **legacy passthrough**: a document that is not an
+envelope is returned unchanged (JSON) or flagged (binary), so
+artefacts committed before this layer existed keep loading.
+
+All reads and writes consult the active fault injector
+(:mod:`~repro.fsio.faults`), which is how ``--chaos`` disk kinds and
+the crash-consistency tests reach inside this API.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import struct
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from ..manifest import canonical_json
+from . import faults
+from .health import HEALTH
+
+PathLike = Union[str, Path]
+
+BLOB_FORMAT = "repro-blob/1"
+
+#: Binary envelope: magic, version, schema length, payload length,
+#: payload SHA-256 (raw digest); schema bytes then payload follow.
+_BIN_MAGIC = b"REPROBLB"
+_BIN_VERSION = 1
+_BIN_HEADER = struct.Struct("<8sHHQ32s")
+
+
+class BlobError(ValueError):
+    """An envelope failed integrity validation.
+
+    ``defect`` is a stable taxonomy token (``truncated``,
+    ``checksum-mismatch``, ``length-mismatch``, ``schema-mismatch``,
+    ``malformed-envelope``) the doctor's failure report groups by.
+    """
+
+    def __init__(self, path: Optional[PathLike], reason: str, defect: str):
+        prefix = f"{path}: " if path is not None else ""
+        super().__init__(f"{prefix}{reason}")
+        self.path = str(path) if path is not None else None
+        self.reason = reason
+        self.defect = defect
+
+
+# ----------------------------------------------------------------------
+# atomic primitives
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _file_sha256(path: Path) -> str:
+    # Routed through the traceio stat-memo so a write immediately
+    # primes the hash the checkpoint verifier reads back.  Imported
+    # lazily to keep fsio importable without the workloads package
+    # mid-initialisation.
+    from ..workloads.traceio import file_sha256_cached
+
+    return file_sha256_cached(path)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> str:
+    """Write ``data`` to ``path`` atomically; return its hex SHA-256.
+
+    The temporary file carries the writer's PID so concurrent workers
+    retrying the same artefact never collide on the tmp name either.
+    An active fault injector may tear the write (partial bytes land at
+    the final path, non-atomically), flip payload bytes, or raise
+    ``ENOSPC`` before anything is written.
+    """
+    path = Path(path)
+    plan = faults.consult(path, "write")
+    if plan is not None:
+        HEALTH.faults_injected += 1
+        if plan.kind == faults.DISK_ENOSPC:
+            raise OSError(
+                errno.ENOSPC, f"injected ENOSPC (disk fault) writing {path}"
+            )
+        if plan.kind == faults.DISK_TORN:
+            # A torn write: a prefix lands at the final path with no
+            # tmp+rename — exactly the failure the envelope must catch.
+            torn = data[: plan.cut_length(len(data))]
+            with open(path, "wb") as fh:
+                fh.write(torn)
+            return _file_sha256(path)
+        if plan.kind == faults.DISK_FLIP:
+            data = plan.flip(data)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # replace failed; don't litter
+            tmp.unlink()
+    _fsync_dir(path.parent)
+    return _file_sha256(path)
+
+
+def durable_replace(tmp: PathLike, path: PathLike) -> None:
+    """Commit an already-written temp file: fsync, rename, dir-fsync.
+
+    For writers that stream their own format to a temp file (the trace
+    saver) and only need the crash-safe commit step.
+    """
+    tmp, path = Path(tmp), Path(path)
+    with open(tmp, "rb") as fh:
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def dump_json(obj: Any) -> bytes:
+    """Canonical pretty JSON (sorted keys, stable layout).
+
+    Determinism matters: a resumed campaign must reproduce the bytes
+    of an uninterrupted one, so artefacts must serialise identically
+    run-to-run.
+    """
+    return (json.dumps(obj, indent=2, sort_keys=True) + "\n").encode()
+
+
+def atomic_write_json(path: PathLike, obj: Any) -> str:
+    """Atomically write canonical JSON; return the file's SHA-256."""
+    return atomic_write_bytes(path, dump_json(obj))
+
+
+def read_bytes(path: PathLike) -> bytes:
+    """Read a file's bytes through the fault-injection point.
+
+    An active injector may shorten the read (a prefix is returned) or
+    raise ``EIO``; callers must treat the result as untrusted until an
+    envelope validates it.
+    """
+    path = Path(path)
+    plan = faults.consult(path, "read")
+    if plan is not None:
+        HEALTH.faults_injected += 1
+        if plan.kind == faults.DISK_EIO:
+            raise OSError(errno.EIO, f"injected EIO (disk fault) reading {path}")
+    data = path.read_bytes()
+    if plan is not None and plan.kind == faults.DISK_SHORT_READ:
+        return data[: plan.cut_length(len(data))]
+    return data
+
+
+# ----------------------------------------------------------------------
+# JSON envelope
+
+
+def payload_bytes(payload: Any) -> bytes:
+    """The canonical byte rendering the envelope checksums cover."""
+    return canonical_json(payload).encode("utf-8")
+
+
+def wrap_json(
+    payload: Any, schema: str, annotations: Optional[dict] = None
+) -> dict:
+    """Wrap a JSON-able payload in a checksummed envelope document."""
+    blob = payload_bytes(payload)
+    envelope = {
+        "format": BLOB_FORMAT,
+        "schema": schema,
+        "length": len(blob),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "payload": payload,
+    }
+    if annotations:
+        envelope["annotations"] = dict(annotations)
+    return envelope
+
+
+def is_blob_payload(data: Any) -> bool:
+    """Does this parsed JSON document look like an envelope?"""
+    return (
+        isinstance(data, dict)
+        and data.get("format") == BLOB_FORMAT
+        and "payload" in data
+    )
+
+
+def unwrap_json(
+    data: Any, schema: Optional[str] = None, path: Optional[PathLike] = None
+) -> Any:
+    """Validate an envelope document and return its payload.
+
+    A document that is not an envelope at all passes through unchanged
+    (legacy artefacts); a document that *claims* to be one must verify
+    or :class:`BlobError` is raised (and the checksum-failure counter
+    bumped).  ``schema``, when given, must match the recorded tag.
+    """
+    if not is_blob_payload(data):
+        return data
+    recorded_schema = data.get("schema")
+    if not isinstance(recorded_schema, str) or not recorded_schema:
+        raise BlobError(path, "envelope has no schema tag", "malformed-envelope")
+    if schema is not None and recorded_schema != schema:
+        raise BlobError(
+            path,
+            f"schema mismatch: {recorded_schema!r} != {schema!r}",
+            "schema-mismatch",
+        )
+    payload = data["payload"]
+    blob = payload_bytes(payload)
+    length = data.get("length")
+    if length != len(blob):
+        HEALTH.checksum_failures += 1
+        raise BlobError(
+            path,
+            f"length mismatch: recorded {length}, payload is {len(blob)} bytes",
+            "length-mismatch",
+        )
+    digest = hashlib.sha256(blob).hexdigest()
+    if data.get("sha256") != digest:
+        HEALTH.checksum_failures += 1
+        raise BlobError(
+            path,
+            f"payload sha256 mismatch: recorded {data.get('sha256')!r}, "
+            f"bytes hash to {digest}",
+            "checksum-mismatch",
+        )
+    return payload
+
+
+def write_blob_json(
+    path: PathLike,
+    payload: Any,
+    schema: str,
+    annotations: Optional[dict] = None,
+) -> str:
+    """Atomically write an envelope-wrapped JSON artefact."""
+    return atomic_write_json(path, wrap_json(payload, schema, annotations))
+
+
+# ----------------------------------------------------------------------
+# binary envelope
+
+
+def wrap_bytes(payload: bytes, schema: str) -> bytes:
+    """Wrap raw payload bytes in the packed binary envelope."""
+    schema_bytes = schema.encode("utf-8")
+    header = _BIN_HEADER.pack(
+        _BIN_MAGIC,
+        _BIN_VERSION,
+        len(schema_bytes),
+        len(payload),
+        hashlib.sha256(payload).digest(),
+    )
+    return header + schema_bytes + payload
+
+
+def is_binary_blob(data: bytes) -> bool:
+    return data[: len(_BIN_MAGIC)] == _BIN_MAGIC
+
+
+def unwrap_bytes(
+    data: bytes, schema: Optional[str] = None, path: Optional[PathLike] = None
+) -> Tuple[str, bytes]:
+    """Validate a binary envelope; return ``(schema, payload)``.
+
+    Unlike the JSON form there is no passthrough here — callers decide
+    what a non-envelope byte string means for their format (the sizes
+    sidecar loader, for instance, treats it as a legacy sidecar).
+    """
+    if len(data) < _BIN_HEADER.size:
+        raise BlobError(
+            path,
+            f"truncated envelope header ({len(data)} of "
+            f"{_BIN_HEADER.size} bytes)",
+            "truncated",
+        )
+    magic, version, schema_len, length, digest = _BIN_HEADER.unpack_from(data)
+    if magic != _BIN_MAGIC:
+        raise BlobError(path, "not a repro blob (bad magic)", "malformed-envelope")
+    if version != _BIN_VERSION:
+        raise BlobError(
+            path, f"unsupported envelope version {version}", "malformed-envelope"
+        )
+    offset = _BIN_HEADER.size
+    recorded_schema = data[offset : offset + schema_len].decode(
+        "utf-8", errors="replace"
+    )
+    if schema is not None and recorded_schema != schema:
+        raise BlobError(
+            path,
+            f"schema mismatch: {recorded_schema!r} != {schema!r}",
+            "schema-mismatch",
+        )
+    payload = data[offset + schema_len :]
+    if len(payload) != length:
+        HEALTH.checksum_failures += 1
+        raise BlobError(
+            path,
+            f"length mismatch: recorded {length}, {len(payload)} bytes present",
+            "length-mismatch",
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        HEALTH.checksum_failures += 1
+        raise BlobError(path, "payload sha256 mismatch", "checksum-mismatch")
+    return recorded_schema, payload

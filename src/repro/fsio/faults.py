@@ -1,0 +1,255 @@
+"""Deterministic filesystem fault injection behind the fsio API.
+
+Sibling of :mod:`repro.harness.chaos`, one layer down: where chaos
+decides whether a *task attempt* misbehaves, this decides whether a
+single *disk operation* does — a torn write, a short read, ENOSPC,
+EIO, or a payload bit flip.  Every decision is a pure function of
+``(seed, path, op, attempt)``, so a failing fuzz run is replayable
+from its seed alone and the crash-consistency tests can demand a fault
+at an exact byte offset.
+
+Nothing in this module touches the filesystem.  It only *plans*
+faults; :mod:`~repro.fsio.durable` consults the active injector at its
+read/write choke points and executes the plan.  Production code paths
+never install an injector — only ``--chaos`` workers and tests do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+DISK_TORN = "disk-torn"
+DISK_ENOSPC = "disk-enospc"
+DISK_FLIP = "disk-flip"
+DISK_SHORT_READ = "disk-short-read"
+DISK_EIO = "disk-eio"
+
+#: Kinds selectable through ``--chaos kinds=...`` (write-side faults a
+#: campaign must survive end-to-end).
+DISK_CHAOS_KINDS: Tuple[str, ...] = (DISK_TORN, DISK_ENOSPC, DISK_FLIP)
+
+#: Every kind the injector understands; the read-side kinds are used
+#: directly by tests and the doctor harness.
+DISK_FAULT_KINDS: Tuple[str, ...] = DISK_CHAOS_KINDS + (
+    DISK_SHORT_READ,
+    DISK_EIO,
+)
+
+_WRITE_KINDS = frozenset((DISK_TORN, DISK_ENOSPC, DISK_FLIP))
+_READ_KINDS = frozenset((DISK_SHORT_READ, DISK_EIO))
+
+_DIGIT_SWAP = bytes.maketrans(b"0123456789", b"9876543210")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A fault the injector decided to fire, plus how to execute it.
+
+    ``digest`` seeds the data-dependent details (where to tear, which
+    byte to flip); ``cut`` pins the torn/short boundary to an exact
+    offset for the kill-at-every-offset harness.
+    """
+
+    kind: str
+    digest: bytes
+    cut: Optional[int] = None
+
+    def cut_length(self, total: int) -> int:
+        """Bytes that survive a torn write / short read of ``total``."""
+        if self.cut is not None:
+            return max(0, min(total, self.cut))
+        if total < 2:
+            return 0
+        fraction = 0.1 + 0.8 * (
+            int.from_bytes(self.digest[:8], "big") / 2**64
+        )
+        return max(1, min(total - 1, int(total * fraction)))
+
+    def flip(self, data: bytes) -> bytes:
+        """Corrupt ``data`` so it stays parseable but fails checksums.
+
+        Swaps one ASCII digit inside the envelope's payload region
+        (``d -> 9-d``, never a fixed point), chosen by the plan digest.
+        The result is still valid JSON with an intact ``format`` field,
+        so only the checksum — not a parse error — can catch it: the
+        hardest corruption for a reader to notice.
+        """
+        start = data.find(b'"payload"')
+        start = 0 if start < 0 else start + len(b'"payload"')
+        end = data.find(b'"schema"', start)
+        if end < 0:
+            end = len(data)
+        positions = [
+            i for i in range(start, end) if 0x30 <= data[i] <= 0x39
+        ]
+        if not positions:  # no digits in payload: hit anything after it
+            positions = [
+                i for i in range(start, len(data)) if 0x30 <= data[i] <= 0x39
+            ]
+        if not positions:
+            # Digit-free data: make it unparsable instead.
+            return data[:-1] + bytes([data[-1] ^ 0xFF]) if data else data
+        target = positions[
+            int.from_bytes(self.digest[8:16], "big") % len(positions)
+        ]
+        mutated = bytearray(data)
+        mutated[target] = data[target : target + 1].translate(_DIGIT_SWAP)[0]
+        return bytes(mutated)
+
+
+def _eligible(kinds: Tuple[str, ...], op: str) -> Tuple[str, ...]:
+    allowed = _WRITE_KINDS if op == "write" else _READ_KINDS
+    return tuple(k for k in kinds if k in allowed)
+
+
+@dataclass(frozen=True)
+class DiskFaultConfig:
+    """Probabilistic fault schedule: pure in ``(seed, path, op, attempt)``.
+
+    The draw keys on the file's *basename*, not its absolute path, so a
+    schedule replays identically across scratch directories.
+    """
+
+    seed: int
+    p: float
+    kinds: Tuple[str, ...] = DISK_CHAOS_KINDS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], got {self.p}")
+        unknown = [k for k in self.kinds if k not in DISK_FAULT_KINDS]
+        if unknown:
+            raise ValueError(
+                f"unknown disk fault kinds {unknown}; "
+                f"known: {', '.join(DISK_FAULT_KINDS)}"
+            )
+
+    def decide(
+        self, path: PathLike, op: str, attempt: int
+    ) -> Optional[FaultPlan]:
+        eligible = _eligible(self.kinds, op)
+        if not eligible or self.p <= 0.0:
+            return None
+        key = f"repro-disk:{self.seed}:{Path(path).name}:{op}:{attempt}"
+        digest = hashlib.sha256(key.encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        if draw >= self.p:
+            return None
+        kind = eligible[int.from_bytes(digest[8:12], "big") % len(eligible)]
+        return FaultPlan(kind, digest)
+
+
+class FaultInjector:
+    """Installable injector driven by a :class:`DiskFaultConfig`.
+
+    Tracks a per-``(basename, op)`` attempt counter so a retried write
+    draws a fresh decision each time — the same convergence property
+    task-level chaos has: with p < 1 every artefact eventually lands.
+    """
+
+    def __init__(self, config: DiskFaultConfig):
+        self.config = config
+        self._attempts: Dict[Tuple[str, str], int] = {}
+
+    def plan(self, path: PathLike, op: str) -> Optional[FaultPlan]:
+        key = (Path(path).name, op)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        return self.config.decide(path, op, attempt)
+
+    def __enter__(self) -> "FaultInjector":
+        _install(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _uninstall(self)
+
+
+class OneShotFault:
+    """Fire ``kind`` exactly once, on the first matching operation.
+
+    This is how chaos workers arm a disk fault for one specific result
+    write, and how the crash-consistency harness tears a write at an
+    exact offset (``cut=``).  Matching is by basename so callers can
+    arm before the final path's directory even exists.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        path: PathLike,
+        op: Optional[str] = None,
+        digest: Optional[bytes] = None,
+        cut: Optional[int] = None,
+    ):
+        if kind not in DISK_FAULT_KINDS:
+            raise ValueError(f"unknown disk fault kind {kind!r}")
+        self.kind = kind
+        self._name = Path(path).name
+        self._op = op or ("write" if kind in _WRITE_KINDS else "read")
+        if digest is None:
+            digest = hashlib.sha256(
+                f"repro-oneshot:{kind}:{self._name}".encode()
+            ).digest()
+        self._digest = digest
+        self._cut = cut
+        self.fired = False
+
+    def plan(self, path: PathLike, op: str) -> Optional[FaultPlan]:
+        if self.fired or op != self._op or Path(path).name != self._name:
+            return None
+        self.fired = True
+        return FaultPlan(self.kind, self._digest, cut=self._cut)
+
+    def __enter__(self) -> "OneShotFault":
+        _install(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _uninstall(self)
+
+
+# ----------------------------------------------------------------------
+# installation (per-process; workers are processes, so no locking)
+
+_ACTIVE: List[object] = []
+_FIRED: List[Dict[str, str]] = []
+
+
+def _install(injector: object) -> None:
+    _ACTIVE.append(injector)
+
+
+def _uninstall(injector: object) -> None:
+    if injector in _ACTIVE:
+        _ACTIVE.remove(injector)
+
+
+def active_injector() -> Optional[object]:
+    """The innermost installed injector, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def consult(path: PathLike, op: str) -> Optional[FaultPlan]:
+    """Ask the installed injectors (innermost first) for a fault plan."""
+    for injector in reversed(_ACTIVE):
+        plan = injector.plan(path, op)  # type: ignore[attr-defined]
+        if plan is not None:
+            _FIRED.append(
+                {"path": str(path), "op": op, "kind": plan.kind}
+            )
+            return plan
+    return None
+
+
+def injected_faults(clear: bool = False) -> List[Dict[str, str]]:
+    """Faults fired in this process (newest last); optionally reset."""
+    fired = list(_FIRED)
+    if clear:
+        _FIRED.clear()
+    return fired

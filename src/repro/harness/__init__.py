@@ -15,12 +15,16 @@ formats.
 """
 
 from .chaos import (
+    ALL_CHAOS_KINDS,
     CHAOS_KINDS,
     ChaosConfig,
     ChaosSpecError,
+    backoff_delay,
     parse_chaos_spec,
 )
 from .checkpoint import (
+    ERROR_SCHEMA,
+    RESULT_SCHEMA,
     dump_json,
     load_result,
     verify_result,
@@ -53,6 +57,7 @@ from .scheduler import (
 from .worker import pool_worker_entry, worker_entry
 
 __all__ = [
+    "ALL_CHAOS_KINDS",
     "AttemptFailure",
     "CHAOS_KINDS",
     "COMPLETE",
@@ -64,14 +69,17 @@ __all__ = [
     "ChaosConfig",
     "ChaosSpecError",
     "CorruptResultError",
+    "ERROR_SCHEMA",
     "FAILED",
     "FAILURE_KINDS",
     "HarnessError",
     "MANIFEST_FORMAT",
     "MANIFEST_NAME",
     "PENDING",
+    "RESULT_SCHEMA",
     "TaskEntry",
     "TaskFailureReport",
+    "backoff_delay",
     "dump_json",
     "load_result",
     "parse_chaos_spec",

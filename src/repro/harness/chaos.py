@@ -17,6 +17,12 @@ Injected fault kinds:
   to the final path and exits "successfully" (models a torn write),
   which the checkpoint verifier must catch.
 
+Disk-level kinds (``disk-torn``, ``disk-enospc``, ``disk-flip``) are
+delegated to :mod:`repro.fsio.faults`: the worker arms a one-shot
+filesystem fault on its own result write, exercising the storage
+layer's torn-write detection, ENOSPC degradation and checksum
+validation end-to-end through a real campaign.
+
 Because the draw is per-*attempt*, a sabotaged task's retries
 eventually come up clean: with retry budget ``r`` a task is lost only
 with probability ``p**(r+1)``.
@@ -28,10 +34,16 @@ import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..fsio.faults import DISK_CHAOS_KINDS
+
 CRASH_KIND = "crash"
 TIMEOUT_KIND = "timeout"
 CORRUPT_KIND = "corrupt"
+#: Default kind set: task-level faults only.  Disk kinds are opt-in
+#: via an explicit ``kinds=`` list so ``--chaos p=...`` alone keeps
+#: its original meaning.
 CHAOS_KINDS = (CRASH_KIND, TIMEOUT_KIND, CORRUPT_KIND)
+ALL_CHAOS_KINDS = CHAOS_KINDS + DISK_CHAOS_KINDS
 
 #: Exit code of a chaos-crashed worker (distinguishable in reports).
 CHAOS_CRASH_EXIT = 86
@@ -52,10 +64,11 @@ class ChaosConfig:
     def __post_init__(self):
         if not 0.0 <= self.p <= 1.0:
             raise ChaosSpecError(f"chaos p must be in [0, 1], got {self.p}")
-        unknown = [k for k in self.kinds if k not in CHAOS_KINDS]
+        unknown = [k for k in self.kinds if k not in ALL_CHAOS_KINDS]
         if unknown:
             raise ChaosSpecError(
-                f"unknown chaos kinds {unknown}; choose from {list(CHAOS_KINDS)}"
+                f"unknown chaos kinds {unknown}; "
+                f"choose from {list(ALL_CHAOS_KINDS)}"
             )
         if not self.kinds:
             raise ChaosSpecError("chaos kinds must not be empty")
@@ -126,3 +139,25 @@ def parse_chaos_spec(spec: str, seed: int = 0) -> ChaosConfig:
     return ChaosConfig(
         p=p, kinds=tuple(kinds) if kinds is not None else CHAOS_KINDS, seed=seed
     )
+
+
+def backoff_delay(
+    base: float, cap: float, tries: int, task_id: str, seed: int = 0
+) -> float:
+    """Bounded exponential backoff with deterministic jitter.
+
+    The envelope is ``min(cap, base * 2**(tries-1))``; the jitter
+    multiplies it by a factor in ``[0.5, 1.0)`` drawn — like every
+    chaos decision — from a SHA-256 of ``(seed, task_id, tries)``, so
+    retry schedules decorrelate across tasks (no thundering herd when
+    a shared resource fails a whole batch) yet replay identically for
+    a given seed.
+    """
+    if tries < 1:
+        return 0.0
+    envelope = min(cap, base * 2 ** (tries - 1))
+    digest = hashlib.sha256(
+        f"repro-backoff:{seed}:{task_id}:{tries}".encode()
+    ).digest()
+    jitter = 0.5 + 0.5 * (int.from_bytes(digest[:8], "big") / float(1 << 64))
+    return envelope * jitter

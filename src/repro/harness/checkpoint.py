@@ -1,92 +1,108 @@
 """Atomic, verifiable result checkpoints.
 
 Every campaign artefact — task results and the manifest itself — is
-written with :func:`write_atomic`: serialise to a temporary file in
+written through :mod:`repro.fsio`: serialise to a temporary file in
 the *same directory*, ``fsync`` it, then ``rename`` over the final
 path (and ``fsync`` the directory so the rename survives a power
 cut).  A reader therefore only ever sees either the previous complete
 version or the new complete version, never a torn write.
 
+On top of atomicity, results now carry the ``repro-blob/1`` envelope
+(schema tag + payload length + payload SHA-256), so a record that
+*did* get torn or bit-flipped by real hardware — atomic rename can't
+defend against media faults — is detected at read time instead of
+poisoning a resume.  Files written before the envelope existed load
+via legacy passthrough.
+
 Integrity checking reuses
 :func:`repro.workloads.traceio.file_sha256_cached` — the same
 streamed content hash the trace loader uses, memoized by
-``(path, size, mtime_ns)`` — so resuming a large campaign verifies
-unchanged artefacts from the stat cache instead of re-hashing every
-byte, while any rewrite (size or mtime change) re-hashes in full.
+``(path, size, mtime_ns, inode, ctime_ns)`` — so resuming a large
+campaign verifies unchanged artefacts from the stat cache instead of
+re-hashing every byte, while any rewrite re-hashes in full.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
-from typing import Any, Dict, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
+from ..fsio.durable import (
+    BlobError,
+    atomic_write_bytes,
+    dump_json,
+    read_bytes,
+    unwrap_json,
+    wrap_json,
+)
 from ..workloads.traceio import file_sha256_cached
 from .errors import CorruptResultError
 
 PathLike = Union[str, Path]
 
+#: Envelope schema tags for the two worker-written artefact classes.
+RESULT_SCHEMA = "repro-task-result/1"
+ERROR_SCHEMA = "repro-task-error/1"
 
-def _fsync_dir(directory: Path) -> None:
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - exotic filesystems
-        return
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+__all__ = [
+    "ERROR_SCHEMA",
+    "RESULT_SCHEMA",
+    "dump_json",
+    "load_result",
+    "verify_result",
+    "write_atomic",
+    "write_json_atomic",
+]
 
 
 def write_atomic(path: PathLike, data: bytes) -> str:
-    """Write ``data`` to ``path`` atomically; return its hex SHA-256.
+    """Write ``data`` to ``path`` atomically; return its hex SHA-256."""
+    return atomic_write_bytes(path, data)
 
-    The temporary file carries the writer's PID so concurrent workers
-    retrying the same task can never collide on the tmp name either.
+
+def write_json_atomic(
+    path: PathLike,
+    obj: Any,
+    schema: Optional[str] = None,
+    annotations: Optional[dict] = None,
+) -> str:
+    """Atomically write canonical JSON; return the file's SHA-256.
+
+    With ``schema`` the object is wrapped in a checksummed
+    ``repro-blob/1`` envelope; without it the bytes are the bare
+    document (manifest and ad-hoc artefacts keep their own formats).
     """
-    path = Path(path)
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
-    try:
-        with open(tmp, "wb") as fh:
-            fh.write(data)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():  # replace failed; don't litter
-            tmp.unlink()
-    _fsync_dir(path.parent)
-    return file_sha256_cached(path)
-
-
-def dump_json(obj: Any) -> bytes:
-    """Canonical JSON serialisation (sorted keys, stable layout).
-
-    Determinism matters: a resumed campaign must reproduce the bytes
-    of an uninterrupted one, so result files must serialise
-    identically run-to-run.
-    """
-    return (json.dumps(obj, indent=2, sort_keys=True) + "\n").encode()
-
-
-def write_json_atomic(path: PathLike, obj: Any) -> str:
-    """Atomically write canonical JSON; return the file's SHA-256."""
-    return write_atomic(path, dump_json(obj))
+    if schema is not None:
+        obj = wrap_json(obj, schema, annotations)
+    return atomic_write_bytes(path, dump_json(obj))
 
 
 def load_result(path: PathLike) -> Dict[str, Any]:
-    """Load a task result file, raising ``CorruptResultError`` if bad."""
+    """Load a task result file, raising ``CorruptResultError`` if bad.
+
+    Reads through the fault-injectable fsio path, then validates the
+    envelope when present: a record whose payload no longer matches
+    its recorded checksum is corrupt even though it parses cleanly.
+    """
     path = Path(path)
     if not path.exists():
         raise CorruptResultError(path, "missing")
     try:
-        data = json.loads(path.read_text())
+        raw = read_bytes(path)
+    except OSError as exc:
+        raise CorruptResultError(path, f"unreadable ({exc})") from None
+    try:
+        data = json.loads(raw.decode("utf-8"))
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise CorruptResultError(path, f"unparsable JSON ({exc})") from None
-    if not isinstance(data, dict):
+    try:
+        payload = unwrap_json(data, path=path)
+    except BlobError as exc:
+        raise CorruptResultError(path, exc.reason) from None
+    if not isinstance(payload, dict):
         raise CorruptResultError(path, "not a JSON object")
-    return data
+    return payload
 
 
 def verify_result(
@@ -94,9 +110,10 @@ def verify_result(
 ) -> Tuple[Dict[str, Any], str]:
     """Check a result file's integrity; return ``(payload, sha256)``.
 
-    Validates — in order — that the file exists and parses, that it
-    belongs to ``task_id``, that it reports success, and (when a
-    manifest hash is supplied) that its bytes still match it.
+    Validates — in order — that the file exists, parses and its
+    envelope checksum holds, that it belongs to ``task_id``, that it
+    reports success, and (when a manifest hash is supplied) that its
+    bytes still match it.
     """
     payload = load_result(path)
     if payload.get("task_id") != task_id:

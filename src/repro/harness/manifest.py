@@ -11,9 +11,19 @@ foundation of ``--resume``.
 Layout of a campaign directory::
 
     campaign.json          # this manifest
+    campaign.meta.json     # immutable identity (scale, experiments)
     results/<task>.json    # one verified result per completed task
     errors/<task>.attemptN.json   # captured tracebacks of failures
     failures.json          # final report of permanently-failed tasks
+    quarantine/            # corrupt artefacts moved aside, with reasons
+
+The manifest is mutable state and therefore the artefact most exposed
+to a torn write; ``campaign.meta.json`` is written once at creation
+and never again, so even a manifest destroyed by real disk corruption
+can be rebuilt (``load(..., recover=True)``) from the meta record plus
+whatever verified results survive on disk — the checkpoint
+tail-truncation story: resume from the last valid records instead of
+abandoning the campaign.
 """
 
 from __future__ import annotations
@@ -23,15 +33,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..fsio.durable import BlobError, read_bytes, unwrap_json
+from ..fsio.quarantine import quarantine_file
 from ..manifest import library_info
 from .chaos import ChaosConfig
-from .checkpoint import verify_result, write_json_atomic
+from .checkpoint import load_result, verify_result, write_json_atomic
 from .errors import CampaignConfigError, CorruptResultError
 
 PathLike = Union[str, Path]
 
 MANIFEST_FORMAT = "repro-campaign/1"
 MANIFEST_NAME = "campaign.json"
+META_FORMAT = "repro-campaign-meta/1"
+META_NAME = "campaign.meta.json"
 RESULTS_DIR = "results"
 ERRORS_DIR = "errors"
 FAILURES_NAME = "failures.json"
@@ -88,6 +102,10 @@ class CampaignManifest:
         return self.directory / MANIFEST_NAME
 
     @property
+    def meta_path(self) -> Path:
+        return self.directory / META_NAME
+
+    @property
     def results_dir(self) -> Path:
         return self.directory / RESULTS_DIR
 
@@ -114,11 +132,20 @@ class CampaignManifest:
         )
         manifest.results_dir.mkdir(exist_ok=True)
         manifest.errors_dir.mkdir(exist_ok=True)
+        # Immutable identity record, written exactly once: the seed
+        # recovery rebuilds from if campaign.json is ever destroyed.
+        write_json_atomic(
+            manifest.meta_path,
+            {"scale": manifest.scale, "experiments": list(manifest.experiments)},
+            schema=META_FORMAT,
+        )
         manifest.save()
         return manifest
 
     @classmethod
-    def load(cls, directory: PathLike) -> "CampaignManifest":
+    def load(
+        cls, directory: PathLike, recover: bool = False
+    ) -> "CampaignManifest":
         directory = Path(directory)
         path = directory / MANIFEST_NAME
         if not path.exists():
@@ -126,12 +153,20 @@ class CampaignManifest:
                 f"{directory} is not a campaign directory (no {MANIFEST_NAME})"
             )
         try:
-            data = json.loads(path.read_text())
-        except json.JSONDecodeError as exc:
-            raise CampaignConfigError(f"{path}: corrupt manifest ({exc})") from None
-        if data.get("format") != MANIFEST_FORMAT:
+            data = unwrap_json(json.loads(read_bytes(path).decode()), path=path)
+        except (OSError, ValueError, BlobError) as exc:
+            # ValueError covers JSONDecodeError/UnicodeDecodeError and
+            # BlobError subclasses it, but keep both spelled out: this
+            # is the corruption boundary, not a parse nicety.
+            if not recover:
+                raise CampaignConfigError(
+                    f"{path}: corrupt manifest ({exc})"
+                ) from None
+            return cls._recover(directory, str(exc))
+        if not isinstance(data, dict) or data.get("format") != MANIFEST_FORMAT:
+            fmt = data.get("format") if isinstance(data, dict) else type(data)
             raise CampaignConfigError(
-                f"{path}: unsupported manifest format {data.get('format')!r}"
+                f"{path}: unsupported manifest format {fmt!r}"
             )
         manifest = cls(
             directory=directory,
@@ -145,6 +180,59 @@ class CampaignManifest:
         )
         manifest.results_dir.mkdir(exist_ok=True)
         manifest.errors_dir.mkdir(exist_ok=True)
+        return manifest
+
+    @classmethod
+    def _recover(cls, directory: Path, reason: str) -> "CampaignManifest":
+        """Rebuild a destroyed manifest from meta + surviving results.
+
+        Completed work is re-discovered by verifying every result file
+        on disk (the payload names its own task, so sanitised
+        filenames are no obstacle); anything that fails verification
+        is quarantined.  Tasks with no surviving result simply re-run.
+        """
+        meta_path = directory / META_NAME
+        try:
+            meta = unwrap_json(
+                json.loads(meta_path.read_text()),
+                schema=META_FORMAT,
+                path=meta_path,
+            )
+        except (OSError, ValueError) as exc:
+            raise CampaignConfigError(
+                f"{directory}: manifest is corrupt and no usable "
+                f"{META_NAME} to recover from ({exc})"
+            ) from None
+        quarantine_file(
+            directory / MANIFEST_NAME,
+            f"corrupt manifest: {reason}",
+            "campaign-manifest",
+            root=directory,
+        )
+        manifest = cls(
+            directory=directory,
+            scale=meta["scale"],
+            experiments=tuple(meta["experiments"]),
+        )
+        manifest.results_dir.mkdir(exist_ok=True)
+        manifest.errors_dir.mkdir(exist_ok=True)
+        for result in sorted(manifest.results_dir.glob("*.json")):
+            try:
+                task_id = load_result(result).get("task_id")
+                if not isinstance(task_id, str) or not task_id:
+                    raise CorruptResultError(result, "no task_id in payload")
+                _, sha256 = verify_result(result, task_id)
+            except CorruptResultError as exc:
+                quarantine_file(
+                    result, exc.reason, "campaign-result", root=directory
+                )
+                continue
+            manifest.tasks[task_id] = TaskEntry(
+                status=COMPLETE,
+                result=f"{RESULTS_DIR}/{result.name}",
+                sha256=sha256,
+            )
+        manifest.save()
         return manifest
 
     def save(self) -> None:
@@ -161,6 +249,7 @@ class CampaignManifest:
                     for task_id, entry in sorted(self.tasks.items())
                 },
             },
+            schema=MANIFEST_FORMAT,
         )
 
     # ------------------------------------------------------------------

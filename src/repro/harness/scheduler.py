@@ -20,8 +20,9 @@ Both modes keep the same fault-tolerance guarantees:
   per task, arming a deadline; a worker that blows it is killed and
   the attempt recorded as a timeout;
 * **retry with exponential backoff** — failed attempts re-queue with
-  ``base * 2**(tries-1)`` delay (capped), until the retry budget is
-  exhausted;
+  ``base * 2**(tries-1)`` delay (capped), scaled by deterministic
+  per-task jitter so simultaneous failures don't retry in lockstep,
+  until the retry budget is exhausted;
 * **checkpointing** — each verified result updates the atomic
   manifest, so progress survives the scheduler itself dying;
 * **resume** — a re-run skips every verified-complete task and
@@ -46,10 +47,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..experiments.campaign_tasks import CampaignTask, enumerate_campaign_tasks
 from ..experiments.common import get_scale
+from ..fsio.quarantine import quarantine_file
 from ..memo.fingerprint import code_fingerprint
 from ..memo.results import ResultCache, result_cache_dir, result_cache_key
-from .chaos import ChaosConfig
-from .checkpoint import load_result, verify_result, write_json_atomic
+from .chaos import ChaosConfig, backoff_delay
+from .checkpoint import (
+    RESULT_SCHEMA,
+    load_result,
+    verify_result,
+    write_json_atomic,
+)
 from .errors import (
     CRASH,
     CORRUPT,
@@ -203,7 +210,10 @@ class CampaignRunner:
         )
 
         if resume:
-            self.manifest = CampaignManifest.load(self.directory)
+            # recover=True: a corrupt manifest is quarantined and
+            # rebuilt from campaign.meta.json + surviving verified
+            # results instead of aborting the resume.
+            self.manifest = CampaignManifest.load(self.directory, recover=True)
             self.scale_name = self.manifest.scale
             self.experiments = self.manifest.experiments
             self.manifest.chaos = (
@@ -295,7 +305,9 @@ class CampaignRunner:
                 continue
             result_path = self._result_path(task)
             try:
-                write_json_atomic(result_path, payload)
+                # Same schema as a worker write: a cache-served result
+                # is byte-identical to a freshly computed one.
+                write_json_atomic(result_path, payload, schema=RESULT_SCHEMA)
                 _, sha256 = verify_result(result_path, task.task_id)
             except (OSError, CorruptResultError):
                 self._scrub_bad_result(task)
@@ -321,13 +333,25 @@ class CampaignRunner:
         return remaining
 
     def _scrub_bad_result(self, task: CampaignTask) -> None:
-        """Never leave a bad result file where resume could trip on it."""
+        """Never leave a bad result file where resume could trip on it.
+
+        The bad bytes move to the campaign's ``quarantine/`` directory
+        with a reason record — evidence for ``repro doctor`` — leaving
+        ``results/`` holding only verified artefacts.
+        """
         result_path = self._result_path(task)
         if result_path.exists():
             try:
                 verify_result(result_path, task.task_id)
-            except CorruptResultError:
-                result_path.unlink()
+            except CorruptResultError as exc:
+                quarantine_file(
+                    result_path,
+                    exc.reason,
+                    "campaign-result",
+                    root=self.directory,
+                )
+                if result_path.exists():  # quarantine move failed
+                    result_path.unlink()
 
     def _complete(
         self, state: _TaskState, report: CampaignReport, duration: float
@@ -353,8 +377,17 @@ class CampaignRunner:
         )
         if self.result_cache is not None:
             # Only *verified* payloads enter the cache; put failures
-            # (disk full, read-only cache) are silently dropped.
-            self.result_cache.put(self._cache_key(task), payload)
+            # (disk full, read-only cache) are silently dropped.  The
+            # annotations let ``repro doctor`` audit entries for stale
+            # fingerprints without re-deriving every key.
+            self.result_cache.put(
+                self._cache_key(task),
+                payload,
+                annotations={
+                    "fingerprint": self._fingerprint,
+                    "task_id": task.task_id,
+                },
+            )
         report.completed += 1
         report.durations[task.task_id] = duration
         self.progress(
@@ -385,9 +418,14 @@ class CampaignRunner:
                 f"({failure.kind}: {failure.detail})"
             )
             return None
-        delay = min(
+        # Deterministic jitter (seeded like chaos) decorrelates retry
+        # schedules across tasks while keeping them reproducible.
+        delay = backoff_delay(
+            self.settings.backoff_base,
             self.settings.backoff_cap,
-            self.settings.backoff_base * (2 ** (state.tries_this_run - 1)),
+            state.tries_this_run,
+            task.task_id,
+            seed=self.settings.chaos.seed if self.settings.chaos else 0,
         )
         state.next_eligible = time.monotonic() + delay
         report.retried_attempts += 1

@@ -33,16 +33,21 @@ Chaos injection runs *inside* the worker, exactly where real faults
 strike: a ``crash`` dies before any work (killing the whole pool
 worker — that is the point), a ``timeout`` hangs past the scheduler's
 deadline, and a ``corrupt`` bypasses the atomic writer to leave a
-truncated result at the final path while reporting success.
+truncated result at the final path while reporting success.  The
+``disk-*`` kinds arm a one-shot :mod:`repro.fsio.faults` fault on the
+attempt's own result write instead, so the storage layer's envelope
+checks are exercised by a real task run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
 import traceback
 
+from ..fsio.faults import DISK_CHAOS_KINDS, OneShotFault
 from .chaos import (
     CHAOS_CRASH_EXIT,
     CORRUPT_KIND,
@@ -50,7 +55,7 @@ from .chaos import (
     TIMEOUT_KIND,
     ChaosConfig,
 )
-from .checkpoint import write_json_atomic
+from .checkpoint import ERROR_SCHEMA, RESULT_SCHEMA, write_json_atomic
 
 #: Bytes a chaos "corrupt" injection leaves at the result path —
 #: deliberately truncated JSON that can never parse.
@@ -86,32 +91,41 @@ def build_payload(
     )
 
 
-def _inject_chaos(payload: dict, in_pool: bool = False) -> bool:
-    """Apply this attempt's (deterministic) injected fault, if any.
+def _run_attempt(payload: dict) -> bool:
+    """Apply this attempt's (deterministic) injected fault, then run it.
 
-    Returns ``True`` when a corrupt result was planted and the caller
-    should report success *without* running the task (pool mode only;
-    isolated workers exit directly).
+    Task-level chaos kinds act here (crash/timeout die, corrupt plants
+    a torn result and reports success without running the task); the
+    disk-level kinds instead arm a one-shot filesystem fault on this
+    attempt's own result write, so the task runs for real and the
+    fault strikes *inside* the storage layer — exactly the failure the
+    envelope checks and scheduler verification must catch.
     """
-    if not payload.get("chaos"):
-        return False
-    chaos = ChaosConfig.from_json(payload["chaos"])
-    kind = chaos.decide(payload["task_id"], payload["attempt"])
-    if kind is None:
-        return False
+    kind = None
+    chaos = None
+    if payload.get("chaos"):
+        chaos = ChaosConfig.from_json(payload["chaos"])
+        kind = chaos.decide(payload["task_id"], payload["attempt"])
     if kind == CRASH_KIND:
         os._exit(CHAOS_CRASH_EXIT)
-    elif kind == TIMEOUT_KIND:
+    if kind == TIMEOUT_KIND:
         time.sleep(payload["hang_seconds"])
         os._exit(CHAOS_CRASH_EXIT)
-    elif kind == CORRUPT_KIND:
+    if kind == CORRUPT_KIND:
         # A torn write: straight to the final path, no tmp+rename.
         with open(payload["result_path"], "wb") as fh:
             fh.write(CORRUPT_BYTES)
-        if not in_pool:
-            os._exit(0)
-        return True
-    return False
+        return True  # report success; the verifier must catch it
+    if kind in DISK_CHAOS_KINDS:
+        # Tie the fault's data-dependent details (tear offset, flipped
+        # byte) to the same digest that picked the kind.
+        digest = hashlib.sha256(
+            f"repro-chaos:{chaos.seed}:{payload['task_id']}:"
+            f"{payload['attempt']}".encode()
+        ).digest()
+        with OneShotFault(kind, payload["result_path"], digest=digest):
+            return _execute_attempt(payload)
+    return _execute_attempt(payload)
 
 
 def _execute_attempt(payload: dict) -> bool:
@@ -155,6 +169,7 @@ def _execute_attempt(payload: dict) -> bool:
                 "scale": payload["scale"],
                 "result": result,
             },
+            schema=RESULT_SCHEMA,
         )
         return True
     except BaseException:
@@ -166,6 +181,7 @@ def _execute_attempt(payload: dict) -> bool:
                     "attempt": payload["attempt"],
                     "traceback": traceback.format_exc(),
                 },
+                schema=ERROR_SCHEMA,
             )
         except OSError:
             pass  # the scheduler still classifies by the missing result
@@ -179,8 +195,7 @@ def worker_entry(payload_json: str) -> None:
     ``fork`` and ``spawn`` multiprocessing start methods.
     """
     payload = json.loads(payload_json)
-    _inject_chaos(payload)
-    os._exit(0 if _execute_attempt(payload) else 1)
+    os._exit(0 if _run_attempt(payload) else 1)
 
 
 def pool_worker_entry(conn) -> None:
@@ -208,8 +223,7 @@ def pool_worker_entry(conn) -> None:
                 conn.send(("start", payload["task_id"], started))
             except (BrokenPipeError, OSError):
                 return
-            corrupted = _inject_chaos(payload, in_pool=True)
-            ok = True if corrupted else _execute_attempt(payload)
+            ok = _run_attempt(payload)
             elapsed = time.monotonic() - started
             try:
                 conn.send(

@@ -14,10 +14,14 @@ Design mirrors the trace cache (:mod:`repro.workloads.cache`):
   shapes the result, *including* :func:`~repro.memo.fingerprint.code_fingerprint`
   — a stale-code entry simply never matches a live key, exactly like a
   bumped ``GENERATOR_VERSION``;
-* entries are written atomically (temp file + ``os.replace``) so a
-  crashed writer can at worst leave a temp file, never a torn entry;
+* entries are written through :mod:`repro.fsio` — atomic rename plus
+  the checksummed ``repro-blob/1`` envelope — so a crashed writer can
+  at worst leave a temp file and a bit-rotted entry is *detected*,
+  not served;
 * readers treat anything unreadable, unparsable or shape-invalid as a
-  miss — corrupt entries are silently recomputed, never fatal.
+  miss — corrupt envelopes are moved to ``quarantine/`` with a reason
+  record and recomputed, never fatal; pre-envelope (legacy) entries
+  are a plain miss and get overwritten in place on the next put.
 
 The scheduler stays the sole integrity authority: a cache hit is
 written through the normal checkpoint/manifest machinery and verified
@@ -33,11 +37,24 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
+from ..fsio.durable import (
+    BlobError,
+    atomic_write_bytes,
+    is_blob_payload,
+    read_bytes,
+    unwrap_json,
+    wrap_json,
+)
+from ..fsio.health import HEALTH
+from ..fsio.quarantine import quarantine_file
 from ..manifest import canonical_json
 from ..metrics import RUN_RECORD_SCHEMA, RunRecord, SchemaError
 from .fingerprint import code_fingerprint
 
 RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
+
+#: Envelope schema tag of result-cache entries.
+CACHE_SCHEMA = "repro-result-cache/1"
 
 
 def result_cache_key(
@@ -97,14 +114,35 @@ class ResultCache:
         drifted from the live schema (renamed metric, old version,
         extra fields) is stale and must be recomputed, never trusted —
         the pre-spine cache passed unknown shapes through unvalidated.
+
+        Corruption handling: an entry that fails to parse or whose
+        envelope checksum no longer holds is quarantined (the shared
+        store keeps serving; the evidence keeps for ``repro doctor``);
+        a pre-envelope legacy entry or a stale-shape payload is a
+        silent miss — the next put overwrites it under the same key.
         """
+        path = self.path_for(key)
         try:
-            text = self.path_for(key).read_text(encoding="utf-8")
+            raw = read_bytes(path)
+        except FileNotFoundError:
+            return None
         except OSError:
+            HEALTH.read_failures += 1
             return None
         try:
-            payload = json.loads(text)
-        except ValueError:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            quarantine_file(
+                path, f"unparsable cache entry ({exc})", "result-cache",
+                root=self.root,
+            )
+            return None
+        if not is_blob_payload(data):
+            return None  # legacy (pre-envelope) entry: plain miss
+        try:
+            payload = unwrap_json(data, schema=CACHE_SCHEMA, path=path)
+        except BlobError as exc:
+            quarantine_file(path, exc.reason, "result-cache", root=self.root)
             return None
         if not isinstance(payload, dict) or payload.get("status") != "ok":
             return None
@@ -116,18 +154,29 @@ class ResultCache:
             return None
         return payload
 
-    def put(self, key: str, payload: Mapping[str, Any]) -> bool:
-        """Store a payload atomically; failures are non-fatal misses."""
+    def put(
+        self,
+        key: str,
+        payload: Mapping[str, Any],
+        annotations: Optional[Mapping[str, Any]] = None,
+    ) -> bool:
+        """Store a payload atomically; failures are non-fatal misses.
+
+        ``annotations`` travel outside the checksummed payload (so the
+        payload bytes a hit serves are exactly what was stored) and
+        give ``repro doctor`` the producing fingerprint and task id
+        without re-deriving every key.
+        """
         path = self.path_for(key)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
+            envelope = wrap_json(
+                dict(payload),
+                CACHE_SCHEMA,
+                dict(annotations) if annotations else None,
+            )
             self.root.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(canonical_json(dict(payload)), encoding="utf-8")
-            os.replace(tmp, path)
+            atomic_write_bytes(path, canonical_json(envelope).encode("utf-8"))
         except (OSError, TypeError, ValueError):
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
+            HEALTH.write_failures += 1
             return False
         return True

@@ -41,6 +41,13 @@ SNAPSHOT_MEMO_ENV = "REPRO_SNAPSHOT_MEMO"
 SNAPSHOT_MEMO_SLOTS_ENV = "REPRO_SNAPSHOT_MEMO_SLOTS"
 DEFAULT_SLOTS = 4
 
+#: Schema tag stored on every entry (the in-memory analogue of the
+#: ``repro-blob/1`` envelope's schema field).  Bump when
+#: ``SimulationSnapshot``'s shape changes: a store populated by an
+#: older definition — possible when workers fork after a hot code
+#: reload — then serves misses instead of incompatible state.
+SNAPSHOT_SCHEMA = "repro-snapshot/1"
+
 _OFF_VALUES = {"0", "off", "no", "false"}
 
 
@@ -151,6 +158,7 @@ class SnapshotEntry(NamedTuple):
 
     snapshot: Any
     epochs: Tuple[Any, ...]
+    schema: str = SNAPSHOT_SCHEMA
 
 
 class SnapshotStore:
@@ -162,6 +170,8 @@ class SnapshotStore:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        #: Entries dropped for carrying a stale schema tag.
+        self.schema_drops = 0
         self._entries: "OrderedDict[str, SnapshotEntry]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -170,6 +180,11 @@ class SnapshotStore:
     def get(self, key: str) -> Optional[SnapshotEntry]:
         entry = self._entries.get(key)
         if entry is None:
+            self.misses += 1
+            return None
+        if entry.schema != SNAPSHOT_SCHEMA:
+            del self._entries[key]
+            self.schema_drops += 1
             self.misses += 1
             return None
         self._entries.move_to_end(key)

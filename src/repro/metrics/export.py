@@ -64,10 +64,19 @@ def _record_from_payload(data: Any, source: str) -> RunRecord:
 
 
 def _records_from_file(path: Path) -> List[RunRecord]:
+    from ..fsio.durable import BlobError, unwrap_json
+
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError) as exc:
         raise ExportError(f"{path}: unreadable ({exc})") from None
+    try:
+        # Checksummed repro-blob/1 envelopes (bench artefacts, campaign
+        # results) unwrap to their payload; pre-envelope files pass
+        # through untouched.
+        data = unwrap_json(data, path=path)
+    except BlobError as exc:
+        raise ExportError(f"{path}: corrupt envelope ({exc.reason})") from None
     if is_run_record_payload(data):
         return [_record_from_payload(data, str(path))]
     if isinstance(data, dict) and is_run_record_payload(data.get("result")):

@@ -32,14 +32,18 @@ the *same* content hash as the trace (every draw input is a hash
 input) plus :data:`SIZES_VERSION`, and preloading it is
 observationally identical to drawing.
 
-Safety properties: cache files are written atomically (tmp +
-``os.replace``), so concurrent workers race harmlessly — last writer
-wins with identical bytes; a corrupt or truncated entry fails
-validation and is silently regenerated (a cache must never be able to
-poison results); and :data:`GENERATOR_VERSION` /
-:data:`SIZES_VERSION` must be bumped whenever the generator's record
-stream or the data model's draw changes, which orphans old entries
-instead of serving stale data.
+Safety properties: cache files are committed through
+:mod:`repro.fsio` (tmp + fsync + ``os.replace`` + dir fsync), so
+concurrent workers race harmlessly — last writer wins with identical
+bytes — and a crash leaves the previous entry intact; a corrupt or
+truncated trace entry fails validation and is silently regenerated (a
+cache must never be able to poison results); a corrupt *sidecar* is
+quarantined and raises :class:`SidecarError` so the owning workload
+can count the redraw (``workload.sidecar_redraws``) instead of hiding
+it; and :data:`GENERATOR_VERSION` / :data:`SIZES_VERSION` must be
+bumped whenever the generator's record stream or the data model's
+draw changes, which orphans old entries instead of serving stale
+data.
 """
 
 from __future__ import annotations
@@ -53,6 +57,16 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence, Tuple, TypeVar
 
+from ..fsio.durable import (
+    BlobError,
+    atomic_write_bytes,
+    durable_replace,
+    is_binary_blob,
+    read_bytes,
+    unwrap_bytes,
+    wrap_bytes,
+)
+from ..fsio.quarantine import quarantine_file
 from .generator import AppTraceGenerator
 from .profiles import AppProfile
 from .trace import MaterializedTrace, materialize
@@ -120,7 +134,7 @@ def load_or_materialize(
         directory.mkdir(parents=True, exist_ok=True)
         tmp = directory / f".{path.name}.tmp.{os.getpid()}"
         save_trace(trace, tmp)
-        os.replace(tmp, path)
+        durable_replace(tmp, path)
     except OSError:
         pass  # an unwritable cache slows things down, never fails them
     return trace
@@ -138,6 +152,25 @@ SIZES_VERSION = 1
 _SIZES_MAGIC = b"REPROSZC"
 _SIZES_HEADER = struct.Struct("<8sII")  # magic, version, entry count
 _SIZES_RECORD = struct.Struct("<QHH")   # block addr, csize, ecb size
+
+#: Envelope schema tag of ``.sizes`` sidecars.  The legacy REPROSZC
+#: layout is kept verbatim as the envelope payload, so pre-envelope
+#: sidecars still load (they just lack the checksum protection).
+SIDECAR_SCHEMA = "repro-sizes/1"
+
+
+class SidecarError(ValueError):
+    """A sidecar exists but is corrupt (already quarantined).
+
+    Distinct from the ``None`` a *missing or disabled* sidecar
+    returns: the caller redraws sizes either way, but corruption is
+    counted (``workload.sidecar_redraws``) and the evidence kept.
+    """
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"{path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
 
 
 def sizes_sidecar_path(
@@ -165,18 +198,15 @@ def save_sizes_sidecar(
         return
     path = sizes_sidecar_path(directory, profile, core, seed, n_records)
     pack = _SIZES_RECORD.pack
+    inner = _SIZES_HEADER.pack(
+        _SIZES_MAGIC, SIZES_VERSION, len(entries)
+    ) + b"".join(
+        pack(addr, csize, ecb)
+        for addr, (csize, ecb) in sorted(entries.items())
+    )
     try:
         directory.mkdir(parents=True, exist_ok=True)
-        tmp = directory / f".{path.name}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as fh:
-            fh.write(_SIZES_HEADER.pack(_SIZES_MAGIC, SIZES_VERSION, len(entries)))
-            fh.write(
-                b"".join(
-                    pack(addr, csize, ecb)
-                    for addr, (csize, ecb) in sorted(entries.items())
-                )
-            )
-        os.replace(tmp, path)
+        atomic_write_bytes(path, wrap_bytes(inner, SIDECAR_SCHEMA))
     except OSError:
         pass
 
@@ -184,28 +214,55 @@ def save_sizes_sidecar(
 def load_sizes_sidecar(
     profile: AppProfile, core: int, seed: int, n_records: int
 ) -> Optional[Dict[int, Tuple[int, int]]]:
-    """The persisted size table for a trace, or ``None``.
+    """The persisted size table for a trace, ``None``, or an error.
 
-    Returns ``None`` when the disk cache is disabled, the sidecar is
-    missing, or it fails structural validation (bad magic/version, or
-    a declared entry count disagreeing with the bytes present) — the
-    caller then falls back to drawing sizes and re-persisting.
+    Returns ``None`` when the disk cache is disabled or the sidecar is
+    simply missing.  A sidecar that *exists* but fails validation —
+    envelope checksum, magic/version, or a declared entry count
+    disagreeing with the bytes present — is moved to the cache's
+    ``quarantine/`` and :class:`SidecarError` is raised; the caller
+    falls back to drawing sizes, re-persists, and counts the redraw.
     """
     directory = trace_cache_dir()
     if directory is None:
         return None
     path = sizes_sidecar_path(directory, profile, core, seed, n_records)
+    if not path.exists():
+        return None
     try:
-        blob = path.read_bytes()
-    except OSError:
-        return None
+        blob = read_bytes(path)
+    except FileNotFoundError:
+        return None  # raced with a concurrent quarantine/cleanup
+    except OSError as exc:
+        raise SidecarError(path, f"unreadable ({exc})") from None
+    try:
+        return _parse_sidecar(path, blob)
+    except SidecarError as exc:
+        quarantine_file(path, exc.reason, "sizes-sidecar", root=directory)
+        raise
+
+
+def _parse_sidecar(
+    path: Path, blob: bytes
+) -> Dict[int, Tuple[int, int]]:
+    if is_binary_blob(blob):
+        try:
+            _, blob = unwrap_bytes(blob, schema=SIDECAR_SCHEMA, path=path)
+        except BlobError as exc:
+            raise SidecarError(path, exc.reason) from None
     if len(blob) < _SIZES_HEADER.size:
-        return None
+        raise SidecarError(path, "truncated header")
     magic, version, count = _SIZES_HEADER.unpack_from(blob)
-    if magic != _SIZES_MAGIC or version != SIZES_VERSION:
-        return None
+    if magic != _SIZES_MAGIC:
+        raise SidecarError(path, "bad magic")
+    if version != SIZES_VERSION:
+        raise SidecarError(path, f"unsupported sizes version {version}")
     if len(blob) - _SIZES_HEADER.size != count * _SIZES_RECORD.size:
-        return None
+        raise SidecarError(
+            path,
+            f"entry count mismatch: header says {count}, "
+            f"{len(blob) - _SIZES_HEADER.size} payload bytes",
+        )
     return {
         addr: (csize, ecb)
         for addr, csize, ecb in _SIZES_RECORD.iter_unpack(

@@ -92,35 +92,38 @@ def file_sha256(path: PathLike, chunk_size: int = 1 << 20) -> str:
     return digest.hexdigest()
 
 
-#: ``path -> (size, mtime_ns, digest)`` memo behind
+#: ``path -> (size, mtime_ns, ino, ctime_ns, digest)`` memo behind
 #: :func:`file_sha256_cached`; bounded so a huge campaign cannot grow
 #: it without limit.
-_SHA256_CACHE: Dict[str, Tuple[int, int, str]] = {}
+_SHA256_CACHE: Dict[str, Tuple[int, int, int, int, str]] = {}
 _SHA256_CACHE_MAX = 65536
 
 
 def file_sha256_cached(path: PathLike) -> str:
-    """:func:`file_sha256` memoized by ``(path, size, mtime_ns)``.
+    """:func:`file_sha256` memoized by the file's full stat identity.
 
     Resuming a large campaign re-verifies every completed artefact;
     re-hashing gigabytes of unchanged results dominates that startup.
-    A file whose size *and* mtime (nanosecond resolution) are unchanged
-    since the last hash is served from the memo; any stat change
-    invalidates the entry and re-hashes.
+    A file whose size, mtime (nanosecond resolution), inode *and*
+    ctime are all unchanged since the last hash is served from the
+    memo; any stat change invalidates the entry and re-hashes.
+
+    Size+mtime alone is not enough: an atomic rewrite (``os.replace``
+    of a same-sized temp file) can land within one mtime tick on
+    coarse-granularity filesystems, leaving size and mtime identical
+    while the bytes changed.  The rename gives the path a *new inode*
+    (and a fresh ctime), so keying on those too closes the hole.
     """
     key = os.fspath(path)
     stat = os.stat(key)
+    identity = (stat.st_size, stat.st_mtime_ns, stat.st_ino, stat.st_ctime_ns)
     entry = _SHA256_CACHE.get(key)
-    if (
-        entry is not None
-        and entry[0] == stat.st_size
-        and entry[1] == stat.st_mtime_ns
-    ):
-        return entry[2]
+    if entry is not None and entry[:4] == identity:
+        return entry[4]
     digest = file_sha256(key)
     if len(_SHA256_CACHE) >= _SHA256_CACHE_MAX:
         _SHA256_CACHE.clear()
-    _SHA256_CACHE[key] = (stat.st_size, stat.st_mtime_ns, digest)
+    _SHA256_CACHE[key] = identity + (digest,)
     return digest
 
 

@@ -60,13 +60,17 @@ def test_run_bench_document_schema(bench_document):
 def test_write_bench_roundtrip(bench_document, tmp_path):
     path = write_bench(bench_document, tmp_path)
     assert path.name == "BENCH_unittest.json"
-    # On disk: the versioned RunRecord envelope, document embedded
-    # verbatim with the geomean surfaced as a registered metric.
+    # On disk: a checksummed repro-blob/1 envelope around the versioned
+    # RunRecord, document embedded verbatim with the geomean surfaced
+    # as a registered metric.
     on_disk = json.loads(path.read_text())
-    assert on_disk["schema"] == "repro-run/1"
-    assert on_disk["kind"] == "bench"
-    assert on_disk["values"]["document"] == bench_document
-    assert on_disk["metrics"]["bench.geomean_mcycles_per_s"] == (
+    assert on_disk["format"] == "repro-blob/1"
+    assert on_disk["schema"] == "repro-bench-artifact/1"
+    record = on_disk["payload"]
+    assert record["schema"] == "repro-run/1"
+    assert record["kind"] == "bench"
+    assert record["values"]["document"] == bench_document
+    assert record["metrics"]["bench.geomean_mcycles_per_s"] == (
         bench_document["geomean_mcycles_per_s"]
     )
     # load_bench unwraps back to the timing document ...

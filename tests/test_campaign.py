@@ -19,6 +19,7 @@ from repro.harness import (
     CampaignManifest,
     CampaignSettings,
     ChaosConfig,
+    load_result,
     run_campaign,
 )
 
@@ -48,9 +49,13 @@ def test_campaign_completes_and_checkpoints(reference_campaign):
     assert len(manifest.tasks) == 5
     assert all(e.status == COMPLETE for e in manifest.tasks.values())
     for task_id, entry in manifest.tasks.items():
-        payload = json.loads(
+        envelope = json.loads(
             (reference_campaign / entry.result).read_text()
         )
+        # Results are checksummed repro-blob/1 envelopes on disk.
+        assert envelope["format"] == "repro-blob/1"
+        assert envelope["schema"] == "repro-task-result/1"
+        payload = load_result(reference_campaign / entry.result)
         assert payload["task_id"] == task_id
         assert payload["status"] == "ok"
         assert manifest.verified_complete(task_id)
@@ -244,6 +249,55 @@ def test_pool_corrupt_results_are_caught_and_retried(
     assert report.ok
     assert report.retried_attempts > 0, "the chaos seed must tear results"
     assert result_bytes(directory) == result_bytes(reference_campaign)
+
+
+def test_disk_fault_chaos_is_byte_identical_and_quarantines(
+    tmp_path, reference_campaign
+):
+    """Disk-level chaos (torn result writes, bit flips, ENOSPC) inside
+    the workers: every defect must be detected — never served — the
+    campaign must lose nothing, the final bytes must match a fault-free
+    run, and the corrupt artefacts must sit in quarantine/ with
+    structured reason records."""
+    from repro.fsio.quarantine import load_reason
+
+    directory = tmp_path / "disk_chaos"
+    report = run_campaign(
+        directory,
+        scale="smoke",
+        experiments=["tables"],
+        settings=CampaignSettings(
+            jobs=2, task_timeout=60, retries=8, backoff_base=0.01,
+            chaos=ChaosConfig(
+                p=0.5, kinds=("disk-torn", "disk-flip", "disk-enospc"),
+                seed=4,
+            ),
+        ),
+    )
+    assert report.ok, [f.task_id for f in report.failed]
+    assert report.retried_attempts > 0, "the chaos seed must inject faults"
+    assert result_bytes(directory) == result_bytes(reference_campaign)
+
+    # Torn/flipped results were scrubbed into quarantine with evidence.
+    quarantine = directory / "quarantine"
+    assert quarantine.is_dir()
+    victims = [
+        p for p in quarantine.iterdir()
+        if not p.name.endswith(".reason.json")
+    ]
+    assert victims, "disk faults must leave quarantined artefacts"
+    for victim in victims:
+        reason = load_reason(quarantine / f"{victim.name}.reason.json")
+        assert reason is not None
+        assert reason["category"] == "campaign-result"
+        assert reason["quarantined_as"] == victim.name
+        assert reason["reason"]
+
+    # The campaign directory passes a post-hoc integrity audit.
+    from repro.fsio.doctor import run_doctor
+
+    audit = run_doctor([directory])
+    assert audit.ok, audit.summary()
 
 
 def test_pool_batched_dispatch_is_byte_identical(tmp_path, reference_campaign):

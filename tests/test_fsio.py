@@ -1,0 +1,250 @@
+"""The crash-consistent storage layer: envelopes, faults, quarantine.
+
+Covers the three fsio pillars in isolation (the campaign/cache tests
+exercise them end-to-end): the checksummed ``repro-blob/1`` envelope
+detects every defect class with a stable taxonomy token; the
+deterministic fault injector is a pure function of its inputs; and
+corrupt artefacts move to ``quarantine/`` with structured reason
+records instead of being deleted or re-served.
+"""
+
+import json
+
+import pytest
+
+from repro.fsio import (
+    DISK_CHAOS_KINDS,
+    DISK_FAULT_KINDS,
+    HEALTH,
+    BlobError,
+    DiskFaultConfig,
+    FaultInjector,
+    OneShotFault,
+    atomic_write_bytes,
+    injected_faults,
+    is_binary_blob,
+    is_blob_payload,
+    quarantine_file,
+    read_bytes,
+    unwrap_bytes,
+    unwrap_json,
+    wrap_bytes,
+    wrap_json,
+)
+from repro.fsio.quarantine import load_reason
+
+
+@pytest.fixture(autouse=True)
+def _reset_health():
+    HEALTH.reset()
+    injected_faults(clear=True)
+    yield
+    HEALTH.reset()
+
+
+# ----------------------------------------------------------------------
+# JSON envelope
+
+def test_json_envelope_roundtrip_and_passthrough():
+    payload = {"b": [1, 2], "a": "x"}
+    envelope = wrap_json(payload, "repro-test/1")
+    assert is_blob_payload(envelope)
+    assert unwrap_json(envelope) == payload
+    assert unwrap_json(envelope, schema="repro-test/1") == payload
+    # legacy documents that never were envelopes pass through unchanged
+    assert unwrap_json(payload) == payload
+    assert not is_blob_payload(payload)
+
+
+def test_json_envelope_checksum_is_layout_stable():
+    """length/sha cover the canonical rendering, so pretty-printing the
+    envelope (what dump_json does) cannot invalidate it."""
+    envelope = wrap_json({"k": 3.5}, "repro-test/1")
+    reparsed = json.loads(json.dumps(envelope, indent=2, sort_keys=True))
+    assert unwrap_json(reparsed) == {"k": 3.5}
+
+
+def test_json_envelope_defect_taxonomy():
+    envelope = wrap_json({"value": 12345}, "repro-test/1")
+
+    flipped = json.loads(json.dumps(envelope).replace("12345", "12346"))
+    with pytest.raises(BlobError) as exc:
+        unwrap_json(flipped, path="x.json")
+    assert exc.value.defect == "checksum-mismatch"
+    assert HEALTH.checksum_failures == 1
+
+    grown = dict(envelope, payload={"value": 12345, "extra": 1})
+    with pytest.raises(BlobError) as exc:
+        unwrap_json(grown)
+    assert exc.value.defect == "length-mismatch"
+
+    with pytest.raises(BlobError) as exc:
+        unwrap_json(envelope, schema="repro-other/1")
+    assert exc.value.defect == "schema-mismatch"
+
+    no_schema = {k: v for k, v in envelope.items() if k != "schema"}
+    with pytest.raises(BlobError) as exc:
+        unwrap_json(no_schema)
+    assert exc.value.defect == "malformed-envelope"
+
+
+# ----------------------------------------------------------------------
+# binary envelope
+
+def test_binary_envelope_roundtrip_and_defects():
+    blob = wrap_bytes(b"\x00\x01payload", "repro-test/1")
+    assert is_binary_blob(blob)
+    schema, payload = unwrap_bytes(blob)
+    assert (schema, payload) == ("repro-test/1", b"\x00\x01payload")
+
+    with pytest.raises(BlobError) as exc:
+        unwrap_bytes(blob[:10])
+    assert exc.value.defect == "truncated"
+    with pytest.raises(BlobError) as exc:
+        unwrap_bytes(blob[:-2])
+    assert exc.value.defect == "length-mismatch"
+    rotted = blob[:-1] + bytes([blob[-1] ^ 0x01])
+    with pytest.raises(BlobError) as exc:
+        unwrap_bytes(rotted)
+    assert exc.value.defect == "checksum-mismatch"
+    with pytest.raises(BlobError) as exc:
+        unwrap_bytes(blob, schema="repro-other/1")
+    assert exc.value.defect == "schema-mismatch"
+    with pytest.raises(BlobError) as exc:
+        unwrap_bytes(b"NOTABLOB" + blob[8:])
+    assert exc.value.defect == "malformed-envelope"
+
+
+# ----------------------------------------------------------------------
+# atomic writes + injected faults
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "artefact.json"
+    atomic_write_bytes(path, b"first")
+    atomic_write_bytes(path, b"second")
+    assert path.read_bytes() == b"second"
+    assert [p.name for p in tmp_path.iterdir()] == ["artefact.json"]
+
+
+def test_fault_decisions_are_deterministic_and_op_scoped():
+    config = DiskFaultConfig(seed=7, p=0.5)
+    plans = [config.decide("a/b/result.json", "write", n) for n in range(50)]
+    again = [config.decide("other/dir/result.json", "write", n) for n in range(50)]
+    # pure in (seed, basename, op, attempt): directory is irrelevant
+    assert [p.kind if p else None for p in plans] == [
+        p.kind if p else None for p in again
+    ]
+    assert any(p is not None for p in plans)
+    assert any(p is None for p in plans)
+    # write-kind config never fires on reads
+    assert all(
+        config.decide("result.json", "read", n) is None for n in range(50)
+    )
+    for plan in filter(None, plans):
+        assert plan.kind in DISK_CHAOS_KINDS
+
+
+def test_fault_config_rejects_bad_values():
+    with pytest.raises(ValueError):
+        DiskFaultConfig(seed=0, p=1.5)
+    with pytest.raises(ValueError):
+        DiskFaultConfig(seed=0, p=0.5, kinds=("disk-explode",))
+    assert set(DISK_CHAOS_KINDS) < set(DISK_FAULT_KINDS)
+
+
+def test_injected_torn_write_is_caught_by_envelope(tmp_path):
+    path = tmp_path / "result.json"
+    from repro.fsio.durable import dump_json
+
+    data = dump_json(wrap_json({"value": 42}, "repro-test/1"))
+    with OneShotFault("disk-torn", path) as fault:
+        atomic_write_bytes(path, data)
+    assert fault.fired
+    assert HEALTH.faults_injected == 1
+    torn = path.read_bytes()
+    assert 0 < len(torn) < len(data)
+    # a torn envelope can never unwrap cleanly
+    with pytest.raises((BlobError, ValueError)):
+        unwrap_json(json.loads(torn.decode()), path=path)
+    # the retry (injector gone) lands the full artefact
+    atomic_write_bytes(path, data)
+    assert unwrap_json(json.loads(path.read_text())) == {"value": 42}
+
+
+def test_injected_flip_keeps_json_valid_but_fails_checksum(tmp_path):
+    path = tmp_path / "result.json"
+    from repro.fsio.durable import dump_json
+
+    data = dump_json(wrap_json({"value": 1234567}, "repro-test/1"))
+    with OneShotFault("disk-flip", path):
+        atomic_write_bytes(path, data)
+    flipped = json.loads(path.read_text())  # still parses!
+    assert is_blob_payload(flipped)
+    with pytest.raises(BlobError) as exc:
+        unwrap_json(flipped, path=path)
+    assert exc.value.defect == "checksum-mismatch"
+
+
+def test_injected_enospc_and_read_faults(tmp_path):
+    path = tmp_path / "artefact.bin"
+    with OneShotFault("disk-enospc", path):
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"doomed")
+    assert not path.exists(), "ENOSPC must not leave partial bytes"
+
+    atomic_write_bytes(path, b"0123456789")
+    with OneShotFault("disk-eio", path):
+        with pytest.raises(OSError):
+            read_bytes(path)
+    with OneShotFault("disk-short-read", path, cut=4):
+        assert read_bytes(path) == b"0123"
+    assert read_bytes(path) == b"0123456789"
+
+    log = injected_faults()
+    assert [f["kind"] for f in log] == [
+        "disk-enospc", "disk-eio", "disk-short-read"
+    ]
+
+
+def test_fault_injector_retries_draw_fresh_decisions(tmp_path):
+    """A FaultInjector advances its per-file attempt counter, so with
+    p < 1 a retried write eventually lands (the convergence property
+    the campaign relies on)."""
+    # seed 0 fires ENOSPC on attempts 0-2 and clears on attempt 3
+    config = DiskFaultConfig(seed=0, p=0.7, kinds=("disk-enospc",))
+    path = tmp_path / "retried.json"
+    with FaultInjector(config):
+        for attempt in range(40):
+            try:
+                atomic_write_bytes(path, b"payload")
+                break
+            except OSError:
+                continue
+        else:
+            pytest.fail("40 retries at p=0.7 should include a clean draw")
+    assert path.read_bytes() == b"payload"
+    assert HEALTH.faults_injected > 0
+
+
+# ----------------------------------------------------------------------
+# quarantine
+
+def test_quarantine_moves_file_with_reason_record(tmp_path):
+    victim = tmp_path / "bad.json"
+    victim.write_bytes(b"rotten")
+    moved = quarantine_file(victim, "checksum mismatch", "unit-test",
+                            root=tmp_path)
+    assert not victim.exists()
+    assert moved == tmp_path / "quarantine" / "bad.json"
+    assert moved.read_bytes() == b"rotten"
+    reason = load_reason(moved.parent / "bad.json.reason.json")
+    assert reason["artifact"].endswith("bad.json")
+    assert reason["category"] == "unit-test"
+    assert reason["reason"] == "checksum mismatch"
+    assert HEALTH.quarantined == 1
+
+    # a second victim with the same name never clobbers the evidence
+    victim.write_bytes(b"rotten again")
+    moved2 = quarantine_file(victim, "still bad", "unit-test", root=tmp_path)
+    assert moved2.name == "bad.json.1"
+    assert moved.read_bytes() == b"rotten"

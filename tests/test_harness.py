@@ -21,6 +21,34 @@ from repro.workloads.traceio import file_sha256
 
 
 # ----------------------------------------------------------------------
+# retry backoff: bounded exponential envelope, deterministic jitter
+
+def test_backoff_delay_envelope_and_jitter_bounds():
+    from repro.harness import backoff_delay
+
+    assert backoff_delay(1.0, 60.0, 0, "t") == 0.0
+    for tries in range(1, 10):
+        envelope = min(60.0, 1.0 * 2 ** (tries - 1))
+        delay = backoff_delay(1.0, 60.0, tries, "tables/table=table1")
+        assert 0.5 * envelope <= delay < envelope
+    # the cap bounds the envelope however many tries accumulate
+    assert backoff_delay(1.0, 5.0, 30, "t") < 5.0
+
+
+def test_backoff_delay_deterministic_and_decorrelated():
+    from repro.harness import backoff_delay
+
+    a = backoff_delay(1.0, 60.0, 3, "task/a", seed=1)
+    assert a == backoff_delay(1.0, 60.0, 3, "task/a", seed=1)
+    # different tasks (or seeds) draw different jitter
+    others = {
+        backoff_delay(1.0, 60.0, 3, f"task/{i}", seed=1) for i in range(8)
+    }
+    assert len(others) == 8
+    assert backoff_delay(1.0, 60.0, 3, "task/a", seed=2) != a
+
+
+# ----------------------------------------------------------------------
 # chaos spec parsing and deterministic decisions
 
 def test_parse_chaos_spec_full():
@@ -40,6 +68,19 @@ def test_parse_chaos_spec_subset_and_seed():
 def test_parse_chaos_spec_defaults_kinds():
     cfg = parse_chaos_spec("p=0.2")
     assert cfg.kinds == ("crash", "timeout", "corrupt")
+
+
+def test_parse_chaos_spec_disk_kinds():
+    cfg = parse_chaos_spec("p=0.3,kinds=disk-torn,disk-flip,seed=2")
+    assert cfg.kinds == ("disk-torn", "disk-flip")
+    assert cfg.seed == 2
+    # the full disk set is valid too, and ALL_CHAOS_KINDS covers it
+    from repro.harness import ALL_CHAOS_KINDS
+
+    cfg = parse_chaos_spec("p=0.1,kinds=disk-torn,disk-enospc,disk-flip")
+    assert all(k in ALL_CHAOS_KINDS for k in cfg.kinds)
+    # ... but p=... alone still means task-level faults only
+    assert parse_chaos_spec("p=0.1").kinds == ("crash", "timeout", "corrupt")
 
 
 def test_parse_chaos_spec_rejects_garbage():

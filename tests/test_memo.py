@@ -231,7 +231,7 @@ def test_stale_fingerprint_entries_never_match(cached_campaign_pair, tmp_path):
     stale_dir.mkdir()
     live_cache = base / "result_cache"
     for entry in live_cache.glob("*.json"):
-        payload = json.loads(entry.read_text())
+        payload = json.loads(entry.read_text())["payload"]  # blob envelope
         unit = dict(payload["unit"])
         stale_key = result_cache_key(
             payload["experiment"], unit, payload["scale"],

@@ -228,6 +228,36 @@ def test_file_sha256_cached_invalidates_on_change(tmp_path):
     assert file_sha256_cached(path) == file_sha256(path)
 
 
+def test_file_sha256_cached_invalidates_within_one_mtime_tick(tmp_path):
+    """An atomic rewrite (same size, same forced mtime) lands on a new
+    inode, which alone must bust the memo — the stat key that only
+    covered (size, mtime) served stale digests for rewrites faster
+    than the filesystem timestamp granularity."""
+    import os
+
+    from repro.fsio.durable import atomic_write_bytes
+    from repro.workloads.traceio import file_sha256, file_sha256_cached
+
+    path = tmp_path / "blob.bin"
+    atomic_write_bytes(path, b"version-A")
+    first = file_sha256_cached(path)
+    assert first == file_sha256(path)
+    stat = path.stat()
+
+    # rewrite atomically with identical size, then pin mtime back so
+    # (size, mtime_ns) is byte-for-byte the same stat key as before
+    atomic_write_bytes(path, b"version-B")
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+    after = path.stat()
+    assert after.st_size == stat.st_size
+    assert after.st_mtime_ns == stat.st_mtime_ns
+    assert after.st_ino != stat.st_ino, "atomic replace must change inode"
+
+    second = file_sha256_cached(path)
+    assert second == file_sha256(path)
+    assert second != first
+
+
 def test_file_sha256_cached_missing_file_raises(tmp_path):
     from repro.workloads.traceio import file_sha256_cached
 

@@ -12,6 +12,7 @@ import pytest
 from repro.workloads.cache import (
     SIZES_VERSION,
     TRACE_CACHE_ENV,
+    SidecarError,
     load_or_materialize,
     load_sizes_sidecar,
     save_sizes_sidecar,
@@ -87,21 +88,31 @@ def test_sizes_sidecar_missing_or_disabled(cache_dir, monkeypatch):
 def test_sizes_sidecar_rejects_structural_corruption(cache_dir):
     save_sizes_sidecar(PROFILE, 0, 0, 10, {1: (2, 3), 4: (5, 6)})
     path = sizes_sidecar_path(cache_dir, PROFILE, 0, 0, 10)
-    good = path.read_bytes()
+    good = path.read_bytes()  # a REPROBLB envelope around REPROSZC bytes
 
-    path.write_bytes(b"WRONGMAG" + good[8:])
-    assert load_sizes_sidecar(PROFILE, 0, 0, 10) is None
+    corruptions = [
+        b"WRONGMAG" + good[8:],   # clobbered envelope magic -> legacy
+                                  # parse sees garbage, not REPROSZC
+        good[:-4],                # torn tail -> envelope length mismatch
+        good[:10],                # short header
+        good[:-2] + bytes([good[-2] ^ 0x40, good[-1]]),  # bit rot
+    ]
+    for bad in corruptions:
+        path.write_bytes(bad)
+        with pytest.raises(SidecarError):
+            load_sizes_sidecar(PROFILE, 0, 0, 10)
+        # corruption is evidence: the bad bytes move to quarantine/
+        # (with a reason record) rather than being read again
+        assert not path.exists()
+        quarantined = list((cache_dir / "quarantine").glob("*.sizes*"))
+        assert quarantined
+        path.write_bytes(good)  # restore for the next round
 
-    path.write_bytes(
-        struct.pack("<8sII", b"REPROSZC", SIZES_VERSION + 1, 2) + good[16:]
-    )
-    assert load_sizes_sidecar(PROFILE, 0, 0, 10) is None
-
-    path.write_bytes(good[:-4])                            # count mismatch
-    assert load_sizes_sidecar(PROFILE, 0, 0, 10) is None
-
-    path.write_bytes(good[:10])                            # short header
-    assert load_sizes_sidecar(PROFILE, 0, 0, 10) is None
+    # A legacy (pre-envelope) sidecar with a stale version is rejected.
+    inner = struct.pack("<8sII", b"REPROSZC", SIZES_VERSION + 1, 0)
+    path.write_bytes(inner)
+    with pytest.raises(SidecarError):
+        load_sizes_sidecar(PROFILE, 0, 0, 10)
 
     path.write_bytes(good)                                 # intact again
     assert load_sizes_sidecar(PROFILE, 0, 0, 10) == {1: (2, 3), 4: (5, 6)}
