@@ -2,7 +2,8 @@
 # Tier-1 CI gate: the full test suite plus a fast performance smoke.
 #
 # Usage: scripts/ci.sh
-#   [--skip-tests|--skip-bench|--skip-memo|--skip-schema|--skip-durability]
+#   [--skip-tests|--skip-bench|--skip-memo|--skip-schema|--skip-durability|
+#    --skip-backend]
 #
 # The bench leg runs a *reduced* matrix (3 policies x 1 mix, smoke
 # scale, best-of-3) against the committed full-matrix baseline —
@@ -19,6 +20,7 @@ RUN_BENCH=1
 RUN_MEMO=1
 RUN_SCHEMA=1
 RUN_DURABILITY=1
+RUN_BACKEND=1
 for arg in "$@"; do
   case "$arg" in
     --skip-tests) RUN_TESTS=0 ;;
@@ -26,6 +28,7 @@ for arg in "$@"; do
     --skip-memo) RUN_MEMO=0 ;;
     --skip-schema) RUN_SCHEMA=0 ;;
     --skip-durability) RUN_DURABILITY=0 ;;
+    --skip-backend) RUN_BACKEND=0 ;;
     *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -60,6 +63,48 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     --threshold 0.25
 fi
 
+if [[ "$RUN_BACKEND" == 1 ]]; then
+  echo "== ci: engine backend equivalence =="
+  # Every registered backend must reproduce the committed golden
+  # digests bit-for-bit — the admissibility proof for the vectorized
+  # kernel (docs/architecture.md, Engine backends).  Computed in one
+  # process so a divergence reports which backend and policy drifted.
+  python - <<'PY'
+import json, sys
+from repro.bench.golden import compute_golden_digests
+from repro.engine_backends import backend_names
+
+committed = json.load(open("tests/goldens/determinism.json"))
+failures = []
+for backend in backend_names():
+    computed = compute_golden_digests(backend=backend)
+    for policy, digest in computed.items():
+        if committed.get(policy) != digest:
+            failures.append((backend, policy, digest))
+    print(f"backend {backend}: {len(computed)} golden digests match")
+if failures:
+    for backend, policy, digest in failures:
+        print(f"FAIL: {backend}/{policy} computed {digest}", file=sys.stderr)
+    sys.exit(1)
+PY
+  # The vectorized backend must also hold its speed advantage: a
+  # reduced-matrix run diffed against the committed reference-backend
+  # artefact (explicitly cross-backend — that ratio IS the speedup).
+  BACKEND_OUT="$(mktemp -d)"
+  trap 'rm -rf "${BENCH_OUT:-}" "$BACKEND_OUT"' EXIT
+  python -m repro bench \
+    --scale smoke \
+    --backend vectorized \
+    --label ci_vectorized \
+    --policies bh,ca_rwr,cp_sd \
+    --mixes mix1 \
+    --repeats 3 \
+    --out "$BACKEND_OUT" \
+    --baseline benchmarks/results/BENCH_engine.json \
+    --cross-backend \
+    --threshold 0.25
+fi
+
 if [[ "$RUN_MEMO" == 1 ]]; then
   echo "== ci: memoization correctness smoke =="
   # `bench --memo` runs a reduced campaign twice against one result
@@ -68,7 +113,7 @@ if [[ "$RUN_MEMO" == 1 ]]; then
   # digest-identical) — so this leg is a correctness gate, not a
   # timing one; no baseline comparison needed here.
   MEMO_OUT="$(mktemp -d)"
-  trap 'rm -rf "${BENCH_OUT:-}" "$MEMO_OUT"' EXIT
+  trap 'rm -rf "${BENCH_OUT:-}" "${BACKEND_OUT:-}" "$MEMO_OUT"' EXIT
   python -m repro bench --memo --scale smoke --out "$MEMO_OUT"
 fi
 
@@ -81,7 +126,7 @@ if [[ "$RUN_DURABILITY" == 1 ]]; then
   # post-mortem audit (corrupt ones sit quarantined with reason
   # records, which the doctor skips by design).
   DURA_OUT="$(mktemp -d)"
-  trap 'rm -rf "${BENCH_OUT:-}" "${MEMO_OUT:-}" "$DURA_OUT"' EXIT
+  trap 'rm -rf "${BENCH_OUT:-}" "${BACKEND_OUT:-}" "${MEMO_OUT:-}" "$DURA_OUT"' EXIT
   python -m repro campaign \
     --scale smoke \
     --out "$DURA_OUT/campaign" \

@@ -17,21 +17,25 @@ from .compare import (
     STATUS_MISSING_BASELINE,
     STATUS_OK,
     STATUS_REGRESSION,
+    BackendMismatchError,
     BenchComparison,
     CaseComparison,
+    bench_backend,
     compare_benches,
     load_bench,
 )
 from .golden import GOLDEN_MIX, GOLDEN_POLICIES, compute_golden_digests, simulation_digest
 from .memo import MemoBenchError, run_memo_bench
 from .parallel import run_parallel_bench
-from .runner import BENCH_SCHEMA, BenchMatrix, run_bench, write_bench
+from .runner import BENCH_SCHEMA, BenchMatrix, phase_breakdown, run_bench, write_bench
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BackendMismatchError",
     "BenchComparison",
     "BenchMatrix",
     "CaseComparison",
+    "bench_backend",
     "GOLDEN_MIX",
     "GOLDEN_POLICIES",
     "MemoBenchError",
@@ -41,6 +45,7 @@ __all__ = [
     "STATUS_REGRESSION",
     "compare_benches",
     "compute_golden_digests",
+    "phase_breakdown",
     "load_bench",
     "run_bench",
     "run_memo_bench",

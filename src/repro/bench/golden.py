@@ -87,14 +87,21 @@ def _golden_workload() -> Workload:
     )
 
 
-def compute_golden_digests() -> Dict[str, str]:
-    """Digest of the golden window under each golden policy."""
+def compute_golden_digests(backend: str = None) -> Dict[str, str]:
+    """Digest of the golden window under each golden policy.
+
+    ``backend`` selects the engine backend (flag > ``REPRO_BACKEND`` >
+    default); the digests must be identical whatever it resolves to —
+    that equality is the backend-equivalence gate of ``scripts/ci.sh``.
+    """
     config = SMOKE.system()
     epoch = config.dueling.epoch_cycles
     digests: Dict[str, str] = {}
     for policy_name in GOLDEN_POLICIES:
         workload = _golden_workload()
-        sim = Simulation(config, make_policy(policy_name), workload)
+        sim = Simulation(
+            config, make_policy(policy_name), workload, backend=backend
+        )
         result = sim.run(
             cycles=epoch * (GOLDEN_WARMUP_EPOCHS + GOLDEN_EPOCHS),
             warmup_cycles=epoch * GOLDEN_WARMUP_EPOCHS,

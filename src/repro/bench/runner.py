@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..config import resolve_backend_name
 from ..core import make_policy
 from ..engine import Simulation, Workload
 from ..experiments.common import ExperimentScale, geometric_mean
@@ -61,6 +62,11 @@ class BenchMatrix:
     warmup_epochs: float = 0.5
     seed: int = 0
     repeats: int = 1
+    #: Engine backend to time (``None`` → flag/env/default resolution).
+    #: An execution strategy, not a modelling choice: every backend is
+    #: pinned byte-identical by the golden digests, so the matrix
+    #: numbers stay comparable while the engine underneath changes.
+    backend: Optional[str] = None
 
 
 def _host_metadata() -> dict:
@@ -136,13 +142,17 @@ def _time_case(
     warmup = epoch * matrix.warmup_epochs
     best_seconds = None
     result = None
+    phases = None
     for _ in range(max(1, matrix.repeats)):
-        sim = Simulation(config, make_policy(policy_name), workload)
+        sim = Simulation(
+            config, make_policy(policy_name), workload, backend=matrix.backend
+        )
         start = time.perf_counter()
         result = sim.run(cycles=cycles, warmup_cycles=warmup)
         seconds = time.perf_counter() - start
         if best_seconds is None or seconds < best_seconds:
             best_seconds = seconds
+            phases = dict(sim.last_phase_timings)
     assert result is not None and best_seconds is not None
     mcycles = cycles / 1e6
     return {
@@ -154,6 +164,32 @@ def _time_case(
         "llc_accesses": result.stats.llc.accesses,
         "demand_accesses": sum(c.accesses for c in result.stats.cores),
         "mean_ipc": result.mean_ipc,
+        "phases": phases or {},
+    }
+
+
+def phase_breakdown(cases: Sequence[dict], raw_replay: dict) -> dict:
+    """Aggregate the per-case phase timings into one breakdown.
+
+    ``access_path_s`` and ``epoch_bookkeeping_s`` are measured inside
+    the backend; ``trace_replay_est_s`` is the record-delivery floor
+    *estimated* from the raw-replay rate (it happens inline in the
+    burst loop, so it cannot be clocked separately without perturbing
+    the thing being measured).
+    """
+    access = sum(c.get("phases", {}).get("access_path_s", 0.0) for c in cases)
+    epoch = sum(c.get("phases", {}).get("epoch_bookkeeping_s", 0.0) for c in cases)
+    records = sum(c.get("phases", {}).get("records", 0) for c in cases)
+    rate = raw_replay.get("records_per_s", 0.0)
+    replay_est = records / rate if rate > 0 else 0.0
+    return {
+        "records": records,
+        "trace_replay_est_s": replay_est,
+        "access_path_s": access,
+        "epoch_bookkeeping_s": epoch,
+        "fallback_cases": sum(
+            1 for c in cases if c.get("phases", {}).get("fallback")
+        ),
     }
 
 
@@ -166,6 +202,8 @@ def run_bench(
     """Run the full matrix and return the canonical result document."""
     matrix = matrix or BenchMatrix()
     say = progress or (lambda message: None)
+    backend = resolve_backend_name(matrix.backend)
+    say(f"engine backend: {backend}")
 
     # Workload build is timed cold on the first mix; the built workloads
     # are then shared across that mix's policy cases, exactly as the
@@ -199,10 +237,20 @@ def run_bench(
             )
 
     geomean = geometric_mean([c["mcycles_per_s"] for c in cases])
+    breakdown = phase_breakdown(cases, raw_replay)
+    say(
+        "phases: "
+        f"trace replay ~{breakdown['trace_replay_est_s']:.2f}s (est), "
+        f"access path {breakdown['access_path_s']:.2f}s, "
+        f"epoch bookkeeping {breakdown['epoch_bookkeeping_s']:.2f}s"
+    )
+    if breakdown["fallback_cases"]:
+        say(f"scalar fallback on {breakdown['fallback_cases']} case(s)")
     say(f"geomean: {geomean:.3f} Mcycles/s over {len(cases)} cases")
     return {
         "schema": BENCH_SCHEMA,
         "label": label,
+        "backend": backend,
         "created_unix": time.time(),
         "host": _host_metadata(),
         "scale": scale.name,
@@ -217,6 +265,7 @@ def run_bench(
         "workload_build": build_info,
         "raw_replay": raw_replay,
         "cases": cases,
+        "phase_breakdown": breakdown,
         "geomean_mcycles_per_s": geomean,
     }
 
@@ -239,6 +288,7 @@ def bench_record(document: dict) -> RunRecord:
             "label": document.get("label"),
             "scale": document.get("scale"),
             "bench_schema": document.get("schema"),
+            "backend": document.get("backend"),
         },
         metrics=metrics,
         values={"document": document},

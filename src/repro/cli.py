@@ -109,6 +109,15 @@ def _make_policy_checked(spec: str):
     return name, make_policy(name, **kwargs)
 
 
+def _check_backend(value: Optional[str]) -> Optional[str]:
+    """Validate a ``--backend`` value (None = flag/env/default chain)."""
+    if value is None:
+        return None
+    from .engine_backends import backend_names
+
+    return _check_choice("backend", value, backend_names())
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("policies   :", ", ".join(registered_policies()))
     print("mixes      :", ", ".join(MIX_NAMES))
@@ -124,7 +133,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     _check_choice("mix", args.mix, MIX_NAMES)
     name, policy = _make_policy_checked(args.policy)
     workload = scale.workload(args.mix, seed=args.seed)
-    sim = Simulation(config, policy, workload)
+    sim = Simulation(config, policy, workload, backend=_check_backend(args.backend))
     epoch = config.dueling.epoch_cycles
     cycles = epoch * (args.warmup_epochs + args.epochs)
     warmup = epoch * args.warmup_epochs
@@ -136,7 +145,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         out.mkdir(parents=True, exist_ok=True)
         profiler = cProfile.Profile()
         result = profiler.runcall(sim.run, cycles=cycles, warmup_cycles=warmup)
-        pstats_path = out / f"simulate_{args.mix}_{name}.pstats"
+        # The backend is part of the label: a reference profile and a
+        # vectorized profile of the same case are different artefacts.
+        pstats_path = out / f"simulate_{args.mix}_{name}_{sim.backend_name}.pstats"
         profiler.dump_stats(pstats_path)
         print(f"profile: {pstats_path}")
     else:
@@ -293,8 +304,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     import os
     from pathlib import Path
 
+    from .config import REPRO_BACKEND_ENV
     from .memo.results import RESULT_CACHE_ENV
     from .workloads.cache import TRACE_CACHE_ENV
+
+    # Same inheritance carries the engine backend to every worker.
+    if args.backend is not None:
+        os.environ[REPRO_BACKEND_ENV] = _check_backend(args.backend)
 
     os.environ.setdefault(TRACE_CACHE_ENV, str(Path(directory) / "trace_cache"))
     # Same idea for completed unit results: default the result cache to
@@ -338,6 +354,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
+        BackendMismatchError,
         BenchMatrix,
         compare_benches,
         load_bench,
@@ -347,6 +364,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     scale = _resolve_scale(args.scale)
+    backend = _check_backend(args.backend)
 
     if args.memo:
         from .bench.memo import MemoBenchError, run_memo_bench
@@ -419,10 +437,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         warmup_epochs=args.warmup_epochs,
         seed=args.seed,
         repeats=args.repeats,
+        backend=backend,
     )
-    document = run_bench(
-        scale, matrix=matrix, label=args.label, progress=print
-    )
+    # A non-default backend gets its own artefact name unless the user
+    # chose one — BENCH_vectorized.json, not a silently-overwritten
+    # BENCH_engine.json.
+    label = args.label
+    if label == "engine" and backend not in (None, "reference"):
+        label = backend
+    document = run_bench(scale, matrix=matrix, label=label, progress=print)
     path = write_bench(document, args.out)
     print(f"wrote {path}")
     print(
@@ -432,9 +455,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.baseline is None:
         return 0
-    comparison = compare_benches(
-        document, load_bench(args.baseline), threshold=args.threshold
-    )
+    try:
+        comparison = compare_benches(
+            document,
+            load_bench(args.baseline),
+            threshold=args.threshold,
+            cross_backend=args.cross_backend,
+        )
+    except BackendMismatchError as exc:
+        raise UsageError(str(exc)) from None
     for case in comparison.cases:
         print(f"  {case.policy:10s} {case.mix:6s} {case.ratio:5.2f}x")
     for missing in comparison.missing_cases:
@@ -514,7 +543,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup-epochs", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--profile", default=None, metavar="DIR",
-                   help="dump a cProfile .pstats of the run into DIR")
+                   help="dump a cProfile .pstats of the run into DIR "
+                        "(labelled with the active backend)")
+    p.add_argument("--backend", default=None,
+                   help="engine backend: reference | vectorized "
+                        "(default: env REPRO_BACKEND, then reference)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("forecast", help="lifetime forecast for policies")
@@ -557,7 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos", default=None, metavar="SPEC",
                    help="inject faults, e.g. p=0.3,kinds=crash,timeout,corrupt")
     p.add_argument("--profile", default=None, metavar="DIR",
-                   help="each worker dumps DIR/<task_id>.pstats")
+                   help="each worker dumps DIR/<task_id>_<backend>.pstats")
+    p.add_argument("--backend", default=None,
+                   help="engine backend for every worker: reference | "
+                        "vectorized (exported as REPRO_BACKEND; recorded "
+                        "in the campaign manifest)")
     p.add_argument("--isolate-tasks", action="store_true",
                    help="fresh worker process per task attempt instead of "
                         "the persistent warm-cache pool")
@@ -600,6 +637,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="BENCH_*.json to diff against; regression exits 1")
     p.add_argument("--threshold", type=float, default=0.10,
                    help="allowed geomean ratio band around 1.0")
+    p.add_argument("--backend", default=None,
+                   help="engine backend to time: reference | vectorized "
+                        "(default: env REPRO_BACKEND, then reference); "
+                        "non-reference backends default the label to the "
+                        "backend name")
+    p.add_argument("--cross-backend", action="store_true",
+                   help="allow --baseline from a different engine backend "
+                        "(refused otherwise: cross-backend ratios measure "
+                        "the backend, not a regression)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

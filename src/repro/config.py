@@ -10,11 +10,31 @@ changes (way split, L2 size, NVM latency, endurance variability, ...).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 BLOCK_SIZE = 64
 """Cache block size in bytes at every level (Table IV)."""
+
+DEFAULT_ENGINE_BACKEND = "reference"
+"""Engine backend selected when neither flag nor env asks otherwise."""
+
+REPRO_BACKEND_ENV = "REPRO_BACKEND"
+"""Environment variable overriding the default engine backend."""
+
+
+def resolve_backend_name(explicit: Optional[str] = None) -> str:
+    """Resolve the engine-backend name: flag > ``REPRO_BACKEND`` > default.
+
+    Deliberately *not* part of :class:`SystemConfig`: backends are
+    byte-identical by contract (the golden digests pin this), so the
+    choice must never enter memo fingerprints or snapshot keys — it is
+    an execution detail, like the number of worker processes.
+    """
+    if explicit:
+        return explicit
+    return os.environ.get(REPRO_BACKEND_ENV) or DEFAULT_ENGINE_BACKEND
 
 
 def _check_power_of_two(value: int, name: str) -> None:

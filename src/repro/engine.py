@@ -16,8 +16,6 @@ what makes the paper's normalised comparisons meaningful.
 from __future__ import annotations
 
 import copy
-import gc
-import heapq
 import logging
 from dataclasses import dataclass, field, fields
 from typing import Iterator, List, Optional, Sequence
@@ -25,6 +23,7 @@ from typing import Iterator, List, Optional, Sequence
 from .cache.hierarchy import MemoryHierarchy
 from .cache.stats import HierarchyStats
 from .config import SystemConfig
+from .engine_backends import make_backend, resolve_backend_name
 from .metrics.registry import register_metric
 from .core.policy import InsertionPolicy
 from .timing.core_model import AnalyticalCore
@@ -191,6 +190,7 @@ class Simulation:
         policy: InsertionPolicy,
         workload: Workload,
         size_fn=None,
+        backend: Optional[str] = None,
     ) -> None:
         if workload.n_cores != config.cores.n_cores:
             raise ValueError(
@@ -217,6 +217,12 @@ class Simulation:
         self._cursors = [0] * workload.n_cores
         self._next_epoch = float(config.dueling.epoch_cycles)
         self._epoch_index = 0
+        # Engine backend: an execution strategy, never a modelling
+        # choice — every backend is byte-identical by contract (see
+        # repro.engine_backends), so the name is deliberately kept out
+        # of memo fingerprints and snapshot keys.
+        self.backend_name = resolve_backend_name(backend)
+        self._backend = make_backend(self.backend_name, self)
 
     # ------------------------------------------------------------------
     def run(
@@ -276,129 +282,22 @@ class Simulation:
         warmup_cycles: float,
         record_epochs: bool,
     ) -> SimulationResult:
-        """Core loop; ``cycles``/``warmup_cycles`` are absolute."""
-        hierarchy = self.hierarchy
-        cores = self.cores
-        epoch_cycles = self.config.dueling.epoch_cycles
-        epochs: List[EpochRecord] = []
-        epoch_snap = hierarchy.stats.llc.snapshot()
-        start = min(core.cycles for core in cores)
-        next_epoch = self._next_epoch
-        epoch_index = self._epoch_index
-        warmed = warmup_cycles <= start
-        if warmed:
-            hierarchy.reset_stats()
-            epoch_snap = hierarchy.stats.llc.snapshot()
-        base_instr = [core.instructions for core in cores]
-        base_cycles = [core.cycles for core in cores]
+        """Core loop; ``cycles``/``warmup_cycles`` are absolute.
 
-        # Cores are interleaved through a min-heap, but advanced in short
-        # bursts: strict per-access global ordering costs a heap
-        # operation per access for no modelling benefit (the mixes share
-        # no data), while bursts keep cores within ~a thousand cycles of
-        # each other — far finer than the 2M-cycle epoch granularity.
-        #
-        # The burst body is the simulator's innermost loop.  It indexes
-        # the trace columns directly and inlines AnalyticalCore.account
-        # (same two float additions, so timing is bit-identical) to
-        # avoid per-record generator resumption and method dispatch.
-        burst = 64
-        access_level = hierarchy.access_level
-        columns = self._columns
-        cursors = self._cursors
-        heap = [(core.cycles, core_id) for core_id, core in enumerate(cores)]
-        heapq.heapify(heap)
-        heappop = heapq.heappop
-        heappush = heapq.heappush
-        # The loop allocates short-lived acyclic objects (heap tuples,
-        # fill contexts) at a rate that keeps the cyclic GC's gen-0
-        # scanning busy for nothing — refcounting already frees them.
-        # Pause collection for the duration of the loop.
-        gc_was_enabled = gc.isenabled()
-        if gc_was_enabled:
-            gc.disable()
-        try:
-            while heap:
-                now, core_id = heappop(heap)
-                if not warmed and now >= warmup_cycles:
-                    hierarchy.reset_stats()
-                    epoch_snap = hierarchy.stats.llc.snapshot()
-                    for i, core in enumerate(cores):
-                        base_instr[i] = core.instructions
-                        base_cycles[i] = core.cycles
-                    warmed = True
-                while now >= next_epoch:
-                    llc_stats = hierarchy.stats.llc
-                    delta = llc_stats.delta_since(epoch_snap)
-                    winner = self.policy.current_cpth()  # CP_th this epoch
-                    hierarchy.end_epoch()
-                    if record_epochs:
-                        epochs.append(
-                            EpochRecord(
-                                index=epoch_index,
-                                end_cycle=next_epoch,
-                                hits=delta["gets_hits"] + delta["getx_hits"],
-                                nvm_bytes_written=delta["nvm_bytes_written"],
-                                winner_cpth=winner,
-                                after_warmup=warmed and next_epoch > warmup_cycles,
-                            )
-                        )
-                    epoch_snap = llc_stats.snapshot()
-                    epoch_index += 1
-                    next_epoch += epoch_cycles
-                if now >= cycles:
-                    continue  # this core is done; drain the rest
-                # Burst: stop early at the next epoch/warmup/end boundary
-                # so boundary processing stays accurate.
-                stop_at = min(cycles, next_epoch)
-                if not warmed:
-                    stop_at = min(stop_at, warmup_cycles)
-                core = cores[core_id]
-                gaps, addrs, writes = columns[core_id]
-                n_records = len(addrs)
-                cursor = cursors[core_id]
-                base_cpi = core.base_cpi
-                penalty = core._penalty
-                instructions = core.instructions
-                new_time = core.cycles
-                for _ in range(burst):
-                    gap = gaps[cursor]
-                    addr = addrs[cursor]
-                    is_write = writes[cursor]
-                    cursor += 1
-                    if cursor == n_records:
-                        cursor = 0
-                    level = access_level(core_id, addr, is_write)
-                    instructions += gap + 1
-                    new_time += gap * base_cpi + base_cpi
-                    new_time += penalty[level]
-                    if new_time >= stop_at:
-                        break
-                cursors[core_id] = cursor
-                core.instructions = instructions
-                core.cycles = new_time
-                heappush(heap, (new_time, core_id))
-        finally:
-            if gc_was_enabled:
-                gc.enable()
+        Delegates to the selected engine backend.  The historical
+        scalar loop lives in
+        :class:`repro.engine_backends.reference.ReferenceBackend`; the
+        numpy batch-replay kernel in
+        :class:`repro.engine_backends.vectorized.VectorizedBackend`.
+        Both are byte-identical by the golden-digest contract, so
+        callers never observe which one ran.
+        """
+        return self._backend.run(cycles, warmup_cycles, record_epochs)
 
-        self._next_epoch = next_epoch
-        self._epoch_index = epoch_index
-        ipcs = []
-        for i, core in enumerate(cores):
-            d_instr = core.instructions - base_instr[i]
-            d_cycles = core.cycles - base_cycles[i]
-            ipcs.append(d_instr / d_cycles if d_cycles else 0.0)
-            core.export(hierarchy.stats.core(i))
-
-        measured = cycles - warmup_cycles
-        return SimulationResult(
-            stats=hierarchy.stats,
-            epochs=epochs,
-            cycles=measured,
-            seconds=measured / self.config.latency.cpu_freq_hz,
-            ipcs=ipcs,
-        )
+    @property
+    def last_phase_timings(self):
+        """Wall-clock phase breakdown of the most recent ``_run``."""
+        return self._backend.last_phase_timings
 
     # ------------------------------------------------------------------
     # snapshot / restore (the memoization subsystem's engine hook)

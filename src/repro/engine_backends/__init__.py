@@ -1,0 +1,30 @@
+"""Pluggable engine backends (see ``docs/architecture.md``).
+
+Importing this package registers the built-in backends:
+
+* ``reference`` — the scalar burst loop (the semantic definition);
+* ``vectorized`` — numpy batch-replay kernel, byte-identical by the
+  golden-digest contract.
+"""
+
+from .base import (
+    DEFAULT_ENGINE_BACKEND,
+    EngineBackend,
+    backend_names,
+    make_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from .reference import ReferenceBackend
+from .vectorized import VectorizedBackend
+
+__all__ = [
+    "DEFAULT_ENGINE_BACKEND",
+    "EngineBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "backend_names",
+    "make_backend",
+    "register_backend",
+    "resolve_backend_name",
+]

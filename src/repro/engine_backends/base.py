@@ -1,0 +1,109 @@
+"""The engine-backend interface and registry.
+
+A backend owns the innermost simulation loop — everything between
+"cores are at these clocks, traces at these cursors" and "the window
+ended, here is the :class:`~repro.engine.SimulationResult`".  All
+*state* stays on the canonical objects (``Simulation.hierarchy``,
+``Simulation.cores``, ``Simulation._cursors``, the epoch schedule):
+backends may cache derived read-only data (precomputed timing columns,
+parallel views of per-set arrays) but must leave every observable
+object exactly as the ``reference`` loop would, because
+
+* the committed golden digests (``tests/goldens/determinism.json``)
+  must match under every backend, and
+* :meth:`Simulation.snapshot` / :meth:`restore` deep-copy the canonical
+  objects directly, so snapshots taken under one backend must restore
+  and continue byte-identically under another.
+
+The contract, precisely:
+
+* ``run(sim, end_cycle, warmup_until, record_epochs)`` advances the
+  simulation to the absolute global cycle ``end_cycle`` and returns
+  the measured-window result — semantics of the historical
+  ``Simulation._run``;
+* after ``run`` returns, the hierarchy, cores, cursors and epoch
+  schedule hold the same values (``==`` and, for floats, bit-for-bit)
+  the reference loop would leave;
+* backends may fall back to scalar/canonical code paths at any point
+  (structural events: epoch boundaries, set-dueling elections, warmup
+  stat resets, unknown policies, shared-address workloads) — fallback
+  is a performance decision, never a semantic one;
+* ``last_phase_timings`` exposes a wall-clock breakdown of the last
+  ``run`` for the bench's per-phase report; it is telemetry only and
+  must never feed back into simulation state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
+
+from ..config import DEFAULT_ENGINE_BACKEND, resolve_backend_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import Simulation, SimulationResult
+
+
+class EngineBackend(abc.ABC):
+    """One strategy for driving the simulation loop."""
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        #: Wall-clock breakdown of the most recent :meth:`run` —
+        #: ``{"total_s", "epoch_bookkeeping_s", "access_path_s",
+        #: "records"}`` plus backend-specific extras.
+        self.last_phase_timings: Dict[str, float] = {}
+
+    @abc.abstractmethod
+    def run(
+        self,
+        end_cycle: float,
+        warmup_until: float,
+        record_epochs: bool,
+    ) -> "SimulationResult":
+        """Advance to absolute ``end_cycle``; see the module contract."""
+
+
+BackendFactory = Callable[["Simulation"], EngineBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str) -> Callable[[BackendFactory], BackendFactory]:
+    """Class decorator adding a backend to the global registry."""
+
+    def deco(factory: BackendFactory) -> BackendFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate backend name {name!r}")
+        _REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def make_backend(name: str, sim: "Simulation") -> EngineBackend:
+    """Instantiate a registered backend for one simulation."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine backend {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(sim)
+
+
+def backend_names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+__all__ = [
+    "DEFAULT_ENGINE_BACKEND",
+    "EngineBackend",
+    "backend_names",
+    "make_backend",
+    "register_backend",
+    "resolve_backend_name",
+]

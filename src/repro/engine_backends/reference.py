@@ -1,0 +1,180 @@
+"""The reference backend: the historical ``Simulation._run`` loop.
+
+This is the semantic definition of the engine — the scalar burst-64
+heap-interleaved loop that every other backend must reproduce
+bit-for-bit (see :mod:`repro.engine_backends.base` for the contract).
+The body is the PR-2 hot path moved out of :class:`Simulation`
+verbatim; the only additions are telemetry (the per-phase wall-clock
+breakdown the bench reports), which never touches simulation state.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import time
+from typing import TYPE_CHECKING, List
+
+from .base import EngineBackend, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import SimulationResult
+
+
+@register_backend("reference")
+class ReferenceBackend(EngineBackend):
+    """Scalar burst loop; selected by default."""
+
+    name = "reference"
+
+    def run(
+        self,
+        end_cycle: float,
+        warmup_until: float,
+        record_epochs: bool,
+    ) -> "SimulationResult":
+        sim = self.sim
+        from ..engine import EpochRecord, SimulationResult
+
+        cycles = end_cycle
+        warmup_cycles = warmup_until
+        hierarchy = sim.hierarchy
+        cores = sim.cores
+        epoch_cycles = sim.config.dueling.epoch_cycles
+        epochs: List[EpochRecord] = []
+        epoch_snap = hierarchy.stats.llc.snapshot()
+        start = min(core.cycles for core in cores)
+        next_epoch = sim._next_epoch
+        epoch_index = sim._epoch_index
+        warmed = warmup_cycles <= start
+        if warmed:
+            hierarchy.reset_stats()
+            epoch_snap = hierarchy.stats.llc.snapshot()
+        base_instr = [core.instructions for core in cores]
+        base_cycles = [core.cycles for core in cores]
+
+        # Cores are interleaved through a min-heap, but advanced in short
+        # bursts: strict per-access global ordering costs a heap
+        # operation per access for no modelling benefit (the mixes share
+        # no data), while bursts keep cores within ~a thousand cycles of
+        # each other — far finer than the 2M-cycle epoch granularity.
+        #
+        # The burst body is the simulator's innermost loop.  It indexes
+        # the trace columns directly and inlines AnalyticalCore.account
+        # (same two float additions, so timing is bit-identical) to
+        # avoid per-record generator resumption and method dispatch.
+        burst = 64
+        access_level = hierarchy.access_level
+        columns = sim._columns
+        cursors = sim._cursors
+        heap = [(core.cycles, core_id) for core_id, core in enumerate(cores)]
+        heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        perf = time.perf_counter
+        epoch_s = 0.0
+        records_done = 0
+        t_run = perf()
+        # The loop allocates short-lived acyclic objects (heap tuples,
+        # fill contexts) at a rate that keeps the cyclic GC's gen-0
+        # scanning busy for nothing — refcounting already frees them.
+        # Pause collection for the duration of the loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap:
+                now, core_id = heappop(heap)
+                if (not warmed and now >= warmup_cycles) or now >= next_epoch:
+                    # Structural boundary bookkeeping — rare, so timing
+                    # it exactly costs one comparison per burst.
+                    t0 = perf()
+                    if not warmed and now >= warmup_cycles:
+                        hierarchy.reset_stats()
+                        epoch_snap = hierarchy.stats.llc.snapshot()
+                        for i, core in enumerate(cores):
+                            base_instr[i] = core.instructions
+                            base_cycles[i] = core.cycles
+                        warmed = True
+                    while now >= next_epoch:
+                        llc_stats = hierarchy.stats.llc
+                        delta = llc_stats.delta_since(epoch_snap)
+                        winner = sim.policy.current_cpth()  # CP_th this epoch
+                        hierarchy.end_epoch()
+                        if record_epochs:
+                            epochs.append(
+                                EpochRecord(
+                                    index=epoch_index,
+                                    end_cycle=next_epoch,
+                                    hits=delta["gets_hits"] + delta["getx_hits"],
+                                    nvm_bytes_written=delta["nvm_bytes_written"],
+                                    winner_cpth=winner,
+                                    after_warmup=warmed and next_epoch > warmup_cycles,
+                                )
+                            )
+                        epoch_snap = llc_stats.snapshot()
+                        epoch_index += 1
+                        next_epoch += epoch_cycles
+                    epoch_s += perf() - t0
+                if now >= cycles:
+                    continue  # this core is done; drain the rest
+                # Burst: stop early at the next epoch/warmup/end boundary
+                # so boundary processing stays accurate.
+                stop_at = min(cycles, next_epoch)
+                if not warmed:
+                    stop_at = min(stop_at, warmup_cycles)
+                core = cores[core_id]
+                gaps, addrs, writes = columns[core_id]
+                n_records = len(addrs)
+                cursor = cursors[core_id]
+                base_cpi = core.base_cpi
+                penalty = core._penalty
+                instructions = core.instructions
+                new_time = core.cycles
+                i = -1
+                for i in range(burst):
+                    gap = gaps[cursor]
+                    addr = addrs[cursor]
+                    is_write = writes[cursor]
+                    cursor += 1
+                    if cursor == n_records:
+                        cursor = 0
+                    level = access_level(core_id, addr, is_write)
+                    instructions += gap + 1
+                    new_time += gap * base_cpi + base_cpi
+                    new_time += penalty[level]
+                    if new_time >= stop_at:
+                        break
+                records_done += i + 1
+                cursors[core_id] = cursor
+                core.instructions = instructions
+                core.cycles = new_time
+                heappush(heap, (new_time, core_id))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        total_s = perf() - t_run
+        self.last_phase_timings = {
+            "total_s": total_s,
+            "epoch_bookkeeping_s": epoch_s,
+            "access_path_s": total_s - epoch_s,
+            "records": records_done,
+        }
+        sim._next_epoch = next_epoch
+        sim._epoch_index = epoch_index
+        ipcs = []
+        for i, core in enumerate(cores):
+            d_instr = core.instructions - base_instr[i]
+            d_cycles = core.cycles - base_cycles[i]
+            ipcs.append(d_instr / d_cycles if d_cycles else 0.0)
+            core.export(hierarchy.stats.core(i))
+
+        measured = cycles - warmup_cycles
+        return SimulationResult(
+            stats=hierarchy.stats,
+            epochs=epochs,
+            cycles=measured,
+            seconds=measured / sim.config.latency.cpu_freq_hz,
+            ipcs=ipcs,
+        )

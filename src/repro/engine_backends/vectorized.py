@@ -1,0 +1,912 @@
+"""The vectorized backend: numpy batch-replay over the scalar schedule.
+
+The burst-64 heap schedule is *observable* (it decides where warmup and
+epoch boundaries cut the access stream), so a byte-identical backend
+must replicate it exactly.  What this backend changes is everything
+around the schedule:
+
+* **Timing columns are vectorized.**  The per-record charge
+  ``gap * base_cpi + base_cpi`` and ``gap + 1`` are precomputed for the
+  whole trace in one numpy pass per core and consumed as plain-float /
+  plain-int lists (``float64`` elementwise ops are IEEE-identical to
+  CPython's scalar arithmetic, and ``tolist()`` round-trips exactly).
+* **The access path is fused.**  ``MemoryHierarchy.access_level``, both
+  private fill paths and ``HybridLLC._insert`` are transliterated into
+  one closure so a burst runs without per-record method dispatch,
+  ``FillContext`` allocation, or virtual policy calls.
+* **Policy decisions are devirtualised.**  The built-in policies'
+  ``placement`` / ``choose_victim`` / hook bodies are inlined behind an
+  exact-type dispatch; an unknown policy type delegates the entire run
+  to :class:`~repro.engine_backends.reference.ReferenceBackend`
+  (fallback is a performance decision, never a semantic one).
+
+All *state* stays on the canonical objects: LLC counters are hoisted
+into one working list ``L`` (flushed back at every structural boundary
+and at run end), wear/fault rows are mutated through the canonical
+row lists (whose identity ``WearTracker.reset`` preserves), and
+``coherence_invalidations`` is deliberately *not* hoisted — GetX
+snoops run through the canonical ``_snoop_peers`` so shared-address
+workloads stay exact.  Byte-identity is pinned by the committed golden
+digests (``tests/goldens/determinism.json``) and the cross-backend
+property tests.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import time
+from dataclasses import fields as _dc_fields
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from ..cache.block import BlockMeta, ReuseClass
+from ..cache.cacheset import NVM, SRAM
+from ..cache.stats import LLCStats
+from ..core.policy import GLOBAL
+from .base import EngineBackend, register_backend
+from .reference import ReferenceBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import SimulationResult
+
+_WRITE = ReuseClass.WRITE
+_READ = ReuseClass.READ
+_NONE = ReuseClass.NONE
+
+_NVM_FIRST = (NVM, SRAM)
+_SRAM_ONLY = (SRAM,)
+_NVM_ONLY = (NVM,)
+_GLOBAL_ONLY = (GLOBAL,)
+
+#: LLC counter layout of the working list ``L`` — dataclass field order,
+#: so ``flush`` reproduces the canonical object attribute-for-attribute.
+_LLC_FIELDS: Tuple[str, ...] = tuple(f.name for f in _dc_fields(LLCStats))
+
+I_GETS = _LLC_FIELDS.index("gets")
+I_GETX = _LLC_FIELDS.index("getx")
+I_GETS_HITS = _LLC_FIELDS.index("gets_hits")
+I_GETX_HITS = _LLC_FIELDS.index("getx_hits")
+I_UPGRADES = _LLC_FIELDS.index("upgrades")
+I_UPGRADE_HITS = _LLC_FIELDS.index("upgrade_hits")
+I_HITS_SRAM = _LLC_FIELDS.index("hits_sram")
+I_HITS_NVM = _LLC_FIELDS.index("hits_nvm")
+I_FILLS = _LLC_FIELDS.index("fills")
+I_FILLS_SRAM = _LLC_FIELDS.index("fills_sram")
+I_FILLS_NVM = _LLC_FIELDS.index("fills_nvm")
+I_BYPASSES = _LLC_FIELDS.index("bypasses")
+I_UPDATES = _LLC_FIELDS.index("updates_in_place")
+I_SILENT = _LLC_FIELDS.index("silent_drops")
+I_MIGRATIONS = _LLC_FIELDS.index("migrations_to_nvm")
+I_EVICTIONS = _LLC_FIELDS.index("evictions")
+I_WRITEBACKS = _LLC_FIELDS.index("writebacks_to_memory")
+I_NVM_WRITES = _LLC_FIELDS.index("nvm_writes")
+I_NVM_BYTES = _LLC_FIELDS.index("nvm_bytes_written")
+I_SRAM_WRITES = _LLC_FIELDS.index("sram_writes")
+
+# Policy dispatch kinds (exact-type; subclasses the kernel does not
+# know fall through to the reference delegate).
+PK_STATIC = 0   # bh / bh_cp / sram: constant placement, no hooks
+PK_CA = 1       # ca: constant CP_th split, no hooks
+PK_CARWR = 2    # ca_rwr: reuse steering + SRAM->NVM migration
+PK_CPSD = 3     # cp_sd / cp_sd_th: leader-slot CP_th + duel counters
+PK_LHYB = 4     # lhybrid: loop-block steering + MRU-LB victim in SRAM
+PK_TAP = 5      # tap: thrashing table + clean-thrash steering
+
+
+def _classify_policy(policy) -> Optional[Tuple[int, Optional[Tuple[int, ...]]]]:
+    """(kind, static placement) for a policy the kernel can inline."""
+    from ..core.bh import BHPolicy
+    from ..core.bh_cp import BHCPPolicy
+    from ..core.ca import CAPolicy
+    from ..core.ca_rwr import CARWRPolicy
+    from ..core.cp_sd import CPSDPolicy
+    from ..core.cp_sd_th import CPSDThPolicy
+    from ..core.lhybrid import LHybridPolicy
+    from ..core.sram import SRAMOnlyPolicy
+    from ..core.tap import TAPPolicy
+
+    t = type(policy)
+    if t is BHPolicy or t is BHCPPolicy:
+        return PK_STATIC, _GLOBAL_ONLY
+    if t is SRAMOnlyPolicy:
+        return PK_STATIC, _SRAM_ONLY
+    if t is CAPolicy:
+        return PK_CA, None
+    if t is CARWRPolicy:
+        return PK_CARWR, None
+    if t is CPSDPolicy or t is CPSDThPolicy:
+        return PK_CPSD, None
+    if t is LHybridPolicy:
+        return PK_LHYB, None
+    if t is TAPPolicy:
+        return PK_TAP, None
+    return None
+
+
+@register_backend("vectorized")
+class VectorizedBackend(EngineBackend):
+    """Numpy batch-replay kernel; byte-identical to ``reference``."""
+
+    name = "vectorized"
+
+    def __init__(self, sim) -> None:
+        super().__init__(sim)
+        # Timing columns depend only on the immutable trace columns and
+        # base_cpi, so they survive snapshot/restore; everything that
+        # hangs off mutable objects is re-hoisted per run.
+        self._tds: Optional[List[List[float]]] = None
+        self._gis: Optional[List[List[int]]] = None
+        self._prepare_s = 0.0
+        self._delegate: Optional[ReferenceBackend] = None
+
+    # ------------------------------------------------------------------
+    def _prepare_columns(self) -> None:
+        perf = time.perf_counter
+        t0 = perf()
+        tds: List[List[float]] = []
+        gis: List[List[int]] = []
+        for core, (gaps, _addrs, _writes) in zip(self.sim.cores, self.sim._columns):
+            base_cpi = core.base_cpi
+            g = np.asarray(gaps, dtype=np.float64)
+            # Same two IEEE ops, same order, as the scalar
+            # ``gap * base_cpi + base_cpi`` — bit-identical per element.
+            tds.append((g * base_cpi + base_cpi).tolist())
+            gis.append((np.asarray(gaps, dtype=np.int64) + 1).tolist())
+        self._tds = tds
+        self._gis = gis
+        self._prepare_s = perf() - t0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        end_cycle: float,
+        warmup_until: float,
+        record_epochs: bool,
+    ) -> "SimulationResult":
+        dispatch = _classify_policy(self.sim.policy)
+        if dispatch is None:
+            # Unknown policy type: the whole run falls back to the
+            # scalar loop (semantics first; see the base contract).
+            if self._delegate is None:
+                self._delegate = ReferenceBackend(self.sim)
+            result = self._delegate.run(end_cycle, warmup_until, record_epochs)
+            self.last_phase_timings = dict(self._delegate.last_phase_timings)
+            self.last_phase_timings["prepare_s"] = 0.0
+            self.last_phase_timings["fallback"] = 1.0
+            return result
+        if self._tds is None:
+            self._prepare_columns()
+        return self._kernel(end_cycle, warmup_until, record_epochs, dispatch)
+
+    # ------------------------------------------------------------------
+    def _kernel(
+        self,
+        cycles: float,
+        warmup_cycles: float,
+        record_epochs: bool,
+        dispatch: Tuple[int, Optional[Tuple[int, ...]]],
+    ) -> "SimulationResult":
+        sim = self.sim
+        from ..engine import EpochRecord, SimulationResult
+
+        pk, static_parts = dispatch
+        hierarchy = sim.hierarchy
+        cores = sim.cores
+        policy = sim.policy
+        epoch_cycles = sim.config.dueling.epoch_cycles
+        epochs: List[EpochRecord] = []
+        epoch_snap = hierarchy.stats.llc.snapshot()
+        start = min(core.cycles for core in cores)
+        next_epoch = sim._next_epoch
+        epoch_index = sim._epoch_index
+        warmed = warmup_cycles <= start
+        if warmed:
+            hierarchy.reset_stats()
+            epoch_snap = hierarchy.stats.llc.snapshot()
+        base_instr = [core.instructions for core in cores]
+        base_cycles = [core.cycles for core in cores]
+
+        # ---- hoisted canonical state (identities stable within a run;
+        # everything re-resolved per run so snapshot/restore stays free)
+        llc = hierarchy.llc
+        sets = llc.sets
+        set_mask = llc._set_mask
+        sram_ways = llc.geom.sram_ways
+        total_ways = llc.geom.total_ways
+        sentinel = total_ways
+        block_size = llc.block_size
+        frows = llc.faultmap.rows
+        wear_bytes = llc.wear._bytes_rows     # reset() zeroes in place
+        wear_writes = llc.wear._writes_rows
+        meta_table = hierarchy.meta._table
+        sharer_l1 = hierarchy._sharer_l1
+        sharer_l2 = hierarchy._sharer_l2
+        snoop_peers = hierarchy._snoop_peers  # canonical: keeps
+        # coherence_invalidations and shared-address behaviour exact.
+        hier_l1 = hierarchy.l1
+        hier_l2 = hierarchy.l2
+        l1_sets = hierarchy._l1_sets
+        l2_sets = hierarchy._l2_sets
+        l1_mask = hierarchy._l1_mask
+        l2_mask = hierarchy._l2_mask
+        l1_ways = hierarchy._l1_ways
+        l2_ways = hierarchy._l2_ways
+        compressed = llc._compressed and llc._size_fn is not None
+        size_fn = llc._size_fn
+        # Fast path for the (preloaded) size memo of the workload's data
+        # model; an empty dict degrades to calling size_fn, which is the
+        # canonical behaviour for custom size functions.
+        sizes_memo = {}
+        dm = sim.workload.data_model
+        if compressed and getattr(size_fn, "__self__", None) is dm:
+            sizes_memo = dm._sizes
+
+        # ---- policy state (re-hoisted after every boundary: dueling
+        # elections replace the counter lists, TAP decay replaces the
+        # hit table)
+        cpth_const = 0
+        migrate_flag = False
+        cand: Tuple[int, ...] = ()
+        slot_of_set: List[int] = []
+        duel_hits: List[int] = []
+        duel_writes: List[int] = []
+        follower_cpth = 0
+        tap_counts = {}
+        tap_threshold = 0
+        tap_capacity = 0
+        controller = None
+        if pk == PK_CA or pk == PK_CARWR:
+            cpth_const = policy.cpth
+        if pk == PK_CARWR:
+            migrate_flag = policy.migrate_on_eviction
+        elif pk == PK_CPSD:
+            migrate_flag = policy.migrate_on_eviction
+            controller = policy.controller
+            cand = controller.candidates
+            slot_of_set = controller._slot_of_set
+            duel_hits = controller.hits
+            duel_writes = controller.writes
+            follower_cpth = cand[controller.winner_index]
+        elif pk == PK_LHYB:
+            migrate_flag = True
+        elif pk == PK_TAP:
+            tap_counts = policy._hit_counts
+            tap_threshold = policy.hit_threshold
+            tap_capacity = policy.table_capacity
+        is_cpsd = pk == PK_CPSD
+        is_tap = pk == PK_TAP
+        has_handler = migrate_flag or pk == PK_LHYB
+
+        # ---- hoisted LLC counters (flushed at boundaries and run end)
+        llc_stats = llc.stats
+        L = [getattr(llc_stats, name) for name in _LLC_FIELDS]
+        memory_reads = hierarchy.stats.memory_reads
+
+        def flush_stats():
+            s = llc.stats
+            for i, name in enumerate(_LLC_FIELDS):
+                setattr(s, name, L[i])
+            hierarchy.stats.memory_reads = memory_reads
+
+        # ---- fused LLC helpers (transliterations; see module docstring)
+        def kernel_upgrade(core, addr):
+            # MemoryHierarchy._upgrade = llc.upgrade + unconditional
+            # snoop (pre-checked with the sharer masks, which is what
+            # _snoop_peers does first anyway).
+            si = addr & set_mask
+            cs = sets[si]
+            L[I_UPGRADES] += 1
+            way = cs.way_of.get(addr)
+            if way is not None:
+                L[I_UPGRADE_HITS] += 1
+                # classify_llc_hit(addr, is_getx=True, ...): always WRITE
+                meta = meta_table.get(addr)
+                if meta is None:
+                    meta = BlockMeta()
+                    meta_table[addr] = meta
+                meta.llc_hits += 1
+                meta.reuse = _WRITE
+                cs.evict(way)
+            if (sharer_l1.get(addr, 0) | sharer_l2.get(addr, 0)) & ~(1 << core):
+                snoop_peers(core, addr)
+
+        def pick_parts(si, addr, dirty, csize, reuse):
+            # Inlined ``placement`` of the dispatched policy.
+            if pk == PK_STATIC:
+                return static_parts
+            if pk == PK_LHYB:
+                return _NVM_FIRST if reuse is _READ else _SRAM_ONLY
+            if pk == PK_TAP:
+                if not dirty and tap_counts.get(addr, 0) > tap_threshold:
+                    return _NVM_FIRST
+                return _SRAM_ONLY
+            if pk != PK_CA:  # ca_rwr / cp_sd reuse steering
+                if reuse is _READ:
+                    return _NVM_FIRST
+                if reuse is _WRITE:
+                    return _SRAM_ONLY
+            if is_cpsd:
+                slot = slot_of_set[si]
+                cpth = cand[slot] if slot >= 0 else follower_cpth
+            else:
+                cpth = cpth_const
+            return _NVM_FIRST if csize <= cpth else _SRAM_ONLY
+
+        def kernel_insert(cs, addr, dirty, csize, ecb, reuse, parts, migrating):
+            # HybridLLC._insert, with policy calls devirtualised and the
+            # SRAM-eviction migration recursing instead of re-entering
+            # the canonical path.
+            si = cs.index
+            tags = cs.tags
+            sram_fits = block_size >= ecb
+            for part in parts:
+                way = None
+                if part != NVM and sram_fits and cs.free_sram:
+                    for w in range(sram_ways):
+                        if tags[w] is None:
+                            way = w
+                            break
+                if way is None and part != SRAM and cs.free_nvm:
+                    row = frows[si]
+                    for w in range(sram_ways, total_ways):
+                        if tags[w] is None and row[w - sram_ways] >= ecb:
+                            way = w
+                            break
+                if way is None:
+                    if pk == PK_LHYB and part == SRAM:
+                        # LHybrid: most recent loop-block, else SRAM LRU.
+                        reuse_l = cs.reuse
+                        prv = cs.rec_prev
+                        w = prv[sentinel]
+                        while w != sentinel:
+                            if w < sram_ways and reuse_l[w] is _READ:
+                                way = w
+                                break
+                            w = prv[w]
+                        if way is None:
+                            nxt = cs.rec_next
+                            w = nxt[sentinel]
+                            while w != sentinel:
+                                if w < sram_ways:
+                                    way = w
+                                    break
+                                w = nxt[w]
+                    else:
+                        # Default (fit-)LRU walk, restricted to the part.
+                        nxt = cs.rec_next
+                        w = nxt[sentinel]
+                        if part == SRAM:
+                            while w != sentinel:
+                                if w < sram_ways:
+                                    way = w
+                                    break
+                                w = nxt[w]
+                        elif part == GLOBAL:
+                            row = frows[si]
+                            while w != sentinel:
+                                cap = (
+                                    block_size if w < sram_ways
+                                    else row[w - sram_ways]
+                                )
+                                if cap >= ecb:
+                                    way = w
+                                    break
+                                w = nxt[w]
+                        else:
+                            row = frows[si]
+                            while w != sentinel:
+                                if w >= sram_ways and row[w - sram_ways] >= ecb:
+                                    way = w
+                                    break
+                                w = nxt[w]
+                    if way is None:
+                        continue
+                v_addr = tags[way]
+                if v_addr is not None:
+                    dirty_l = cs.dirty
+                    v_dirty = dirty_l[way]
+                    v_in_sram = way < sram_ways
+                    migrate_victim = v_in_sram and not migrating and has_handler
+                    if migrate_victim:
+                        v_csize = cs.csize[way]
+                        v_reuse = cs.reuse[way]
+                    tags[way] = None
+                    dirty_l[way] = False
+                    cs.csize[way] = 0
+                    cs.ecb[way] = 0
+                    cs.reuse[way] = _NONE
+                    prv = cs.rec_prev
+                    nxt = cs.rec_next
+                    before, after = prv[way], nxt[way]
+                    nxt[before] = after
+                    prv[after] = before
+                    del cs.way_of[v_addr]
+                    if v_in_sram:
+                        cs.free_sram += 1
+                    else:
+                        cs.free_nvm += 1
+                    L[I_EVICTIONS] += 1
+                    consumed = False
+                    if migrate_victim:
+                        # handle_sram_eviction: migrate READ-reused
+                        # victims (ca_rwr ablation knob respected).
+                        if v_reuse is _READ and migrate_flag:
+                            e = sizes_memo.get(v_addr)
+                            if e is not None:
+                                mcsize, mecb = e
+                            elif compressed:
+                                mcsize, mecb = size_fn(v_addr)
+                            else:
+                                mcsize = mecb = block_size
+                            consumed = kernel_insert(
+                                cs, v_addr, v_dirty, mcsize, mecb,
+                                v_reuse, _NVM_ONLY, True,
+                            )
+                    if not consumed:
+                        if v_dirty:
+                            L[I_WRITEBACKS] += 1
+                        # on_block_to_memory (metadata GC) inlined.
+                        if v_addr not in sharer_l1 and v_addr not in sharer_l2:
+                            meta_table.pop(v_addr, None)
+                tags[way] = addr
+                cs.dirty[way] = dirty
+                cs.csize[way] = csize
+                cs.ecb[way] = ecb
+                cs.reuse[way] = reuse
+                prv = cs.rec_prev
+                nxt = cs.rec_next
+                mru = prv[sentinel]
+                nxt[mru] = way
+                prv[way] = mru
+                nxt[way] = sentinel
+                prv[sentinel] = way
+                cs.way_of[addr] = way
+                if way < sram_ways:
+                    cs.free_sram -= 1
+                    L[I_SRAM_WRITES] += 1
+                    L[I_FILLS_SRAM] += 1
+                else:
+                    cs.free_nvm -= 1
+                    nw = way - sram_ways
+                    wear_bytes[si][nw] += ecb
+                    wear_writes[si][nw] += 1
+                    L[I_NVM_WRITES] += 1
+                    L[I_NVM_BYTES] += ecb
+                    if is_cpsd:
+                        slot = slot_of_set[si]
+                        if slot >= 0:
+                            duel_writes[slot] += ecb
+                    L[I_FILLS_NVM] += 1
+                if migrating:
+                    L[I_MIGRATIONS] += 1
+                return True
+            if migrating:
+                return False
+            L[I_BYPASSES] += 1
+            if dirty:
+                L[I_WRITEBACKS] += 1
+            if addr not in sharer_l1 and addr not in sharer_l2:
+                meta_table.pop(addr, None)
+            return False
+
+        def spill_to_llc(v_addr, v_dirty):
+            # HybridLLC.fill_from_l2: resident update / silent drop /
+            # fresh insert.
+            si = v_addr & set_mask
+            cs = sets[si]
+            way = cs.way_of.get(v_addr)
+            if way is not None:
+                if v_dirty:
+                    cs.dirty[way] = True
+                    # _charge_write inlined.
+                    if way < sram_ways:
+                        L[I_SRAM_WRITES] += 1
+                    else:
+                        n = cs.ecb[way]
+                        nw = way - sram_ways
+                        wear_bytes[si][nw] += n
+                        wear_writes[si][nw] += 1
+                        L[I_NVM_WRITES] += 1
+                        L[I_NVM_BYTES] += n
+                        if is_cpsd:
+                            slot = slot_of_set[si]
+                            if slot >= 0:
+                                duel_writes[slot] += n
+                    L[I_UPDATES] += 1
+                else:
+                    L[I_SILENT] += 1
+                nxt = cs.rec_next
+                if nxt[way] != sentinel:
+                    prv = cs.rec_prev
+                    before, after = prv[way], nxt[way]
+                    nxt[before] = after
+                    prv[after] = before
+                    mru = prv[sentinel]
+                    nxt[mru] = way
+                    prv[way] = mru
+                    nxt[way] = sentinel
+                    prv[sentinel] = way
+                return
+            meta = meta_table.get(v_addr)
+            reuse = meta.reuse if meta is not None else _NONE
+            e = sizes_memo.get(v_addr)
+            if e is not None:
+                csize, ecb = e
+            elif compressed:
+                csize, ecb = size_fn(v_addr)
+            else:
+                csize = ecb = block_size
+            L[I_FILLS] += 1
+            kernel_insert(
+                cs, v_addr, v_dirty, csize, ecb, reuse,
+                pick_parts(si, v_addr, v_dirty, csize, reuse), False,
+            )
+
+        def fill_l2(core, addr, dirty):
+            entries = l2_sets[core][addr & l2_mask]
+            bit = 1 << core
+            sharer_l2[addr] = sharer_l2.get(addr, 0) | bit
+            if addr in entries:
+                entries[addr] = entries.pop(addr) or dirty
+                return
+            if len(entries) >= l2_ways:
+                v_addr = next(iter(entries))
+                v_dirty = entries.pop(v_addr)
+                entries[addr] = dirty
+                mask = sharer_l2[v_addr] & ~bit
+                if mask:
+                    sharer_l2[v_addr] = mask
+                else:
+                    del sharer_l2[v_addr]
+                spill_to_llc(v_addr, v_dirty)
+                return
+            entries[addr] = dirty
+
+        def fill_l1(core, addr, dirty):
+            entries = l1_sets[core][addr & l1_mask]
+            bit = 1 << core
+            sharer_l1[addr] = sharer_l1.get(addr, 0) | bit
+            if addr in entries:
+                entries[addr] = entries.pop(addr) or dirty
+                return
+            if len(entries) >= l1_ways:
+                v_addr = next(iter(entries))
+                v_dirty = entries.pop(v_addr)
+                entries[addr] = dirty
+                mask = sharer_l1[v_addr] & ~bit
+                if mask:
+                    sharer_l1[v_addr] = mask
+                else:
+                    del sharer_l1[v_addr]
+                l2e = l2_sets[core][v_addr & l2_mask]
+                if v_addr in l2e:
+                    if v_dirty:
+                        l2e[v_addr] = True
+                else:
+                    fill_l2(core, v_addr, v_dirty)
+                return
+            entries[addr] = dirty
+
+        # ---- main loop: same burst-64 heap schedule as the reference
+        burst = 64
+        columns = sim._columns
+        cursors = sim._cursors
+        tds = self._tds
+        gis = self._gis
+        heap = [(core.cycles, core_id) for core_id, core in enumerate(cores)]
+        heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        perf = time.perf_counter
+        epoch_s = 0.0
+        records_done = 0
+        t_run = perf()
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap:
+                now, core_id = heappop(heap)
+                if (not warmed and now >= warmup_cycles) or now >= next_epoch:
+                    # Structural boundary: flush the hoisted counters so
+                    # the canonical bookkeeping sees exact state, run it,
+                    # then re-hoist whatever it replaced.
+                    t0 = perf()
+                    flush_stats()
+                    if not warmed and now >= warmup_cycles:
+                        hierarchy.reset_stats()
+                        llc_stats = llc.stats
+                        L = [0] * len(_LLC_FIELDS)
+                        memory_reads = 0
+                        epoch_snap = llc_stats.snapshot()
+                        for i, core in enumerate(cores):
+                            base_instr[i] = core.instructions
+                            base_cycles[i] = core.cycles
+                        warmed = True
+                    while now >= next_epoch:
+                        llc_stats = llc.stats
+                        delta = llc_stats.delta_since(epoch_snap)
+                        winner = policy.current_cpth()
+                        hierarchy.end_epoch()
+                        if record_epochs:
+                            epochs.append(
+                                EpochRecord(
+                                    index=epoch_index,
+                                    end_cycle=next_epoch,
+                                    hits=delta["gets_hits"] + delta["getx_hits"],
+                                    nvm_bytes_written=delta["nvm_bytes_written"],
+                                    winner_cpth=winner,
+                                    after_warmup=(
+                                        warmed and next_epoch > warmup_cycles
+                                    ),
+                                )
+                            )
+                        epoch_snap = llc_stats.snapshot()
+                        epoch_index += 1
+                        next_epoch += epoch_cycles
+                    # end_epoch replaces the dueling counter lists and
+                    # (every decay period) TAP's hit table.
+                    if is_cpsd:
+                        duel_hits = controller.hits
+                        duel_writes = controller.writes
+                        follower_cpth = cand[controller.winner_index]
+                    elif is_tap:
+                        tap_counts = policy._hit_counts
+                    epoch_s += perf() - t0
+                if now >= cycles:
+                    continue  # this core is done; drain the rest
+                stop_at = min(cycles, next_epoch)
+                if not warmed:
+                    stop_at = min(stop_at, warmup_cycles)
+                core = cores[core_id]
+                addrs = columns[core_id][1]
+                writes = columns[core_id][2]
+                td = tds[core_id]
+                gi = gis[core_id]
+                n_records = len(addrs)
+                cursor = cursors[core_id]
+                penalty = core._penalty
+                instructions = core.instructions
+                new_time = core.cycles
+                l1_sets_c = l1_sets[core_id]
+                l2_sets_c = l2_sets[core_id]
+                # Per-level counters are batched per burst (boundaries
+                # only fall between bursts, so nothing reads the
+                # canonical objects mid-burst): locals in the loop,
+                # one attribute update each at the end.
+                n_l1h = n_l2h = n_llch = n_mem = 0
+                i = -1
+                for i in range(burst):
+                    idx = cursor
+                    cursor += 1
+                    if cursor == n_records:
+                        cursor = 0
+                    addr = addrs[idx]
+                    is_write = writes[idx]
+                    # ---- fused access path (access_level transliterated)
+                    entries = l1_sets_c[addr & l1_mask]
+                    if addr in entries:
+                        was_dirty = entries.pop(addr)
+                        entries[addr] = was_dirty or is_write
+                        n_l1h += 1
+                        if is_write and not was_dirty:
+                            kernel_upgrade(core_id, addr)
+                        level = 0  # L1
+                    else:
+                        l2_entries = l2_sets_c[addr & l2_mask]
+                        if addr in l2_entries:
+                            was_dirty = l2_entries.pop(addr)
+                            l2_entries[addr] = was_dirty
+                            n_l2h += 1
+                            if is_write and not was_dirty:
+                                kernel_upgrade(core_id, addr)
+                            fill_l1(core_id, addr, is_write)
+                            level = 1  # L2
+                        else:
+                            # ---- LLC (GetS/GetX at the directory home)
+                            si = addr & set_mask
+                            cs = sets[si]
+                            wayof = cs.way_of
+                            way = wayof.get(addr)
+                            if is_write:
+                                L[I_GETX] += 1
+                            else:
+                                L[I_GETS] += 1
+                            if way is not None:
+                                copy_dirty = cs.dirty[way]
+                                meta = meta_table.get(addr)
+                                if meta is None:
+                                    meta = BlockMeta()
+                                    meta_table[addr] = meta
+                                meta.llc_hits += 1
+                                if is_write or copy_dirty:
+                                    meta.reuse = _WRITE
+                                elif meta.reuse is not _WRITE:
+                                    meta.reuse = _READ
+                                cs.reuse[way] = meta.reuse
+                                in_sram = way < sram_ways
+                                if in_sram:
+                                    L[I_HITS_SRAM] += 1
+                                    level = 2  # LLC_SRAM
+                                else:
+                                    L[I_HITS_NVM] += 1
+                                    level = 3  # LLC_NVM
+                                # on_hit hook (runs before any
+                                # invalidate, as in the canonical path).
+                                if is_cpsd:
+                                    slot = slot_of_set[si]
+                                    if slot >= 0:
+                                        duel_hits[slot] += 1
+                                elif is_tap:
+                                    count = tap_counts.get(addr, 0)
+                                    if count < 15:
+                                        if (
+                                            len(tap_counts) >= tap_capacity
+                                            and addr not in tap_counts
+                                        ):
+                                            tap_counts.clear()
+                                        tap_counts[addr] = count + 1
+                                if is_write:
+                                    L[I_GETX_HITS] += 1
+                                    # invalidate-on-hit
+                                    cs.tags[way] = None
+                                    cs.dirty[way] = False
+                                    cs.csize[way] = 0
+                                    cs.ecb[way] = 0
+                                    cs.reuse[way] = _NONE
+                                    prv = cs.rec_prev
+                                    nxt = cs.rec_next
+                                    before, after = prv[way], nxt[way]
+                                    nxt[before] = after
+                                    prv[after] = before
+                                    del wayof[addr]
+                                    if in_sram:
+                                        cs.free_sram += 1
+                                    else:
+                                        cs.free_nvm += 1
+                                    others = (
+                                        sharer_l1.get(addr, 0)
+                                        | sharer_l2.get(addr, 0)
+                                    ) & ~(1 << core_id)
+                                    peer_dirty = (
+                                        snoop_peers(core_id, addr)
+                                        if others else None
+                                    )
+                                    l2_dirty = copy_dirty or bool(peer_dirty)
+                                else:
+                                    L[I_GETS_HITS] += 1
+                                    nxt = cs.rec_next
+                                    if nxt[way] != sentinel:
+                                        prv = cs.rec_prev
+                                        before, after = prv[way], nxt[way]
+                                        nxt[before] = after
+                                        prv[after] = before
+                                        mru = prv[sentinel]
+                                        nxt[mru] = way
+                                        prv[way] = mru
+                                        nxt[way] = sentinel
+                                        prv[sentinel] = way
+                                    l2_dirty = False
+                                n_llch += 1
+                            else:
+                                l2_dirty = False
+                                level = 5  # MEMORY
+                                if is_write:
+                                    others = (
+                                        sharer_l1.get(addr, 0)
+                                        | sharer_l2.get(addr, 0)
+                                    ) & ~(1 << core_id)
+                                    peer_dirty = (
+                                        snoop_peers(core_id, addr)
+                                        if others else None
+                                    )
+                                    if peer_dirty is not None:
+                                        l2_dirty = peer_dirty
+                                        level = 4  # PEER
+                                elif sharer_l2.get(addr, 0) & ~(1 << core_id):
+                                    level = 4  # PEER
+                                if level == 5:
+                                    n_mem += 1
+                            # ---- L2 fill
+                            entries = l2_sets_c[addr & l2_mask]
+                            bit = 1 << core_id
+                            sharer_l2[addr] = sharer_l2.get(addr, 0) | bit
+                            if addr in entries:
+                                entries[addr] = entries.pop(addr) or l2_dirty
+                            elif len(entries) >= l2_ways:
+                                v_addr = next(iter(entries))
+                                v_dirty = entries.pop(v_addr)
+                                entries[addr] = l2_dirty
+                                mask = sharer_l2[v_addr] & ~bit
+                                if mask:
+                                    sharer_l2[v_addr] = mask
+                                else:
+                                    del sharer_l2[v_addr]
+                                spill_to_llc(v_addr, v_dirty)
+                            else:
+                                entries[addr] = l2_dirty
+                            # ---- L1 fill
+                            entries = l1_sets_c[addr & l1_mask]
+                            sharer_l1[addr] = sharer_l1.get(addr, 0) | bit
+                            if addr in entries:
+                                entries[addr] = entries.pop(addr) or is_write
+                            elif len(entries) >= l1_ways:
+                                v_addr = next(iter(entries))
+                                v_dirty = entries.pop(v_addr)
+                                entries[addr] = is_write
+                                mask = sharer_l1[v_addr] & ~bit
+                                if mask:
+                                    sharer_l1[v_addr] = mask
+                                else:
+                                    del sharer_l1[v_addr]
+                                l2e = l2_sets_c[v_addr & l2_mask]
+                                if v_addr in l2e:
+                                    if v_dirty:
+                                        l2e[v_addr] = True
+                                else:
+                                    fill_l2(core_id, v_addr, v_dirty)
+                            else:
+                                entries[addr] = is_write
+                            if level == 5 and addr not in meta_table:
+                                meta_table[addr] = BlockMeta()
+                    instructions += gi[idx]
+                    new_time += td[idx]
+                    new_time += penalty[level]
+                    if new_time >= stop_at:
+                        break
+                n_total = i + 1
+                records_done += n_total
+                core_stats = hierarchy._core_stats[core_id]
+                core_stats.accesses += n_total
+                if n_l1h:
+                    core_stats.l1_hits += n_l1h
+                if n_l2h:
+                    core_stats.l2_hits += n_l2h
+                if n_llch:
+                    core_stats.llc_hits += n_llch
+                if n_mem:
+                    core_stats.memory_accesses += n_mem
+                    memory_reads += n_mem
+                l1c = hier_l1[core_id]
+                l1c.hits += n_l1h
+                l1c.misses += n_total - n_l1h
+                l2c = hier_l2[core_id]
+                l2c.hits += n_l2h
+                l2c.misses += n_total - n_l1h - n_l2h
+                cursors[core_id] = cursor
+                core.instructions = instructions
+                core.cycles = new_time
+                heappush(heap, (new_time, core_id))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        flush_stats()
+        total_s = perf() - t_run
+        self.last_phase_timings = {
+            "total_s": total_s,
+            "epoch_bookkeeping_s": epoch_s,
+            "access_path_s": total_s - epoch_s,
+            "records": records_done,
+            "prepare_s": self._prepare_s,
+        }
+        self._prepare_s = 0.0  # charged to the first run only
+        sim._next_epoch = next_epoch
+        sim._epoch_index = epoch_index
+        ipcs = []
+        for i, core in enumerate(cores):
+            d_instr = core.instructions - base_instr[i]
+            d_cycles = core.cycles - base_cycles[i]
+            ipcs.append(d_instr / d_cycles if d_cycles else 0.0)
+            core.export(hierarchy.stats.core(i))
+
+        measured = cycles - warmup_cycles
+        return SimulationResult(
+            stats=hierarchy.stats,
+            epochs=epochs,
+            cycles=measured,
+            seconds=measured / sim.config.latency.cpu_freq_hz,
+            ipcs=ipcs,
+        )

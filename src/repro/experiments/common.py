@@ -256,6 +256,10 @@ def _record_from_sim(sim, result, meta):
     # sim.policy (not the caller's argument) so the snapshot-restored
     # and cold paths observe the same post-run policy state.
     record = result.to_run_record(meta=meta, policy=sim.policy)
+    # Provenance only: the backend is pinned byte-identical by the
+    # golden digests, so it never enters memo fingerprints — but a
+    # record should still say which engine produced it.
+    record.meta["backend"] = sim.backend_name
     record.metrics.update(REGISTRY.collect("nvm", sim.hierarchy.llc.wear))
     controller = getattr(sim.policy, "controller", None)
     if controller is not None:

@@ -94,6 +94,7 @@ class CampaignManifest:
     scale: str
     experiments: Tuple[str, ...]
     chaos: Optional[dict] = None       # last run's chaos settings (info only)
+    backend: Optional[str] = None      # engine backend workers run under
     tasks: Dict[str, TaskEntry] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -121,14 +122,20 @@ class CampaignManifest:
         scale: str,
         experiments,
         chaos: Optional[ChaosConfig] = None,
+        backend: Optional[str] = None,
     ) -> "CampaignManifest":
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        if backend is None:
+            from ..config import resolve_backend_name
+
+            backend = resolve_backend_name()
         manifest = cls(
             directory=directory,
             scale=scale,
             experiments=tuple(experiments),
             chaos=chaos.to_json() if chaos else None,
+            backend=backend,
         )
         manifest.results_dir.mkdir(exist_ok=True)
         manifest.errors_dir.mkdir(exist_ok=True)
@@ -136,7 +143,11 @@ class CampaignManifest:
         # recovery rebuilds from if campaign.json is ever destroyed.
         write_json_atomic(
             manifest.meta_path,
-            {"scale": manifest.scale, "experiments": list(manifest.experiments)},
+            {
+                "scale": manifest.scale,
+                "experiments": list(manifest.experiments),
+                "backend": manifest.backend,
+            },
             schema=META_FORMAT,
         )
         manifest.save()
@@ -173,6 +184,7 @@ class CampaignManifest:
             scale=data["scale"],
             experiments=tuple(data["experiments"]),
             chaos=data.get("chaos"),
+            backend=data.get("backend"),
             tasks={
                 task_id: TaskEntry.from_json(entry)
                 for task_id, entry in data.get("tasks", {}).items()
@@ -213,6 +225,7 @@ class CampaignManifest:
             directory=directory,
             scale=meta["scale"],
             experiments=tuple(meta["experiments"]),
+            backend=meta.get("backend"),
         )
         manifest.results_dir.mkdir(exist_ok=True)
         manifest.errors_dir.mkdir(exist_ok=True)
@@ -244,6 +257,7 @@ class CampaignManifest:
                 "scale": self.scale,
                 "experiments": list(self.experiments),
                 "chaos": self.chaos,
+                "backend": self.backend,
                 "tasks": {
                     task_id: entry.to_json()
                     for task_id, entry in sorted(self.tasks.items())
