@@ -1,6 +1,7 @@
 # Convenience targets; scripts/ci.sh is the canonical gate.
 
-.PHONY: ci test bench bench-parallel bench-memo bench-backend
+.PHONY: ci test bench bench-parallel bench-memo bench-backend \
+	explore bench-explore
 
 ci:
 	scripts/ci.sh
@@ -27,6 +28,20 @@ bench-backend:
 # Campaign scaling bench (pool vs isolated, jobs sweep).
 bench-parallel:
 	PYTHONPATH=src python -m repro bench --jobs auto
+
+# Full design-space sweep: 1008 configurations through the analytical
+# screening tier, the 16 survivors confirmed with real simulations,
+# (IPC, lifetime) Pareto frontier printed at the end.
+explore:
+	PYTHONPATH=src python -m repro --scale smoke explore \
+		--out $$(mktemp -d)/explore
+
+# Explorer leverage bench: times the full sweep, gates the measured
+# simulated-instruction saving at 50x over exhaustive simulation, and
+# writes BENCH_explore.json (the committed artefact records 63x).
+bench-explore:
+	PYTHONPATH=src python -m repro bench --explore --scale smoke \
+		--out $$(mktemp -d)
 
 # Memoization bench: cold vs cache-served campaign (verified
 # byte-identical) + snapshot warm-start, gated against the committed

@@ -3,7 +3,7 @@
 #
 # Usage: scripts/ci.sh
 #   [--skip-tests|--skip-bench|--skip-memo|--skip-schema|--skip-durability|
-#    --skip-backend]
+#    --skip-backend|--skip-analytical]
 #
 # The bench leg runs a *reduced* matrix (3 policies x 1 mix, smoke
 # scale, best-of-3) against the committed full-matrix baseline —
@@ -21,6 +21,7 @@ RUN_MEMO=1
 RUN_SCHEMA=1
 RUN_DURABILITY=1
 RUN_BACKEND=1
+RUN_ANALYTICAL=1
 for arg in "$@"; do
   case "$arg" in
     --skip-tests) RUN_TESTS=0 ;;
@@ -29,6 +30,7 @@ for arg in "$@"; do
     --skip-schema) RUN_SCHEMA=0 ;;
     --skip-durability) RUN_DURABILITY=0 ;;
     --skip-backend) RUN_BACKEND=0 ;;
+    --skip-analytical) RUN_ANALYTICAL=0 ;;
     *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -139,6 +141,39 @@ if [[ "$RUN_DURABILITY" == 1 ]]; then
   python -m repro doctor --strict "$DURA_OUT/campaign"
   # ... and the committed artefacts audit clean too.
   python -m repro doctor --strict
+fi
+
+if [[ "$RUN_ANALYTICAL" == 1 ]]; then
+  echo "== ci: analytical estimator accuracy gate =="
+  # Re-estimate every case of the committed reference matrix and fail
+  # when any mean error leaves its documented tolerance
+  # (docs/analytical_validation.md) — the contract that licenses the
+  # explorer's screening tier.
+  python -m repro --scale smoke analytical
+
+  echo "== ci: explorer smoke (tiny grid, kill-and-resume) =="
+  # A tiny-grid sweep with a crash injected right after rung 1's
+  # durable write must abort, leave the rung artefact on disk, and
+  # complete under --resume without recomputing finished rungs; the
+  # resulting directory must pass a strict doctor audit.
+  EXPLORE_OUT="$(mktemp -d)"
+  trap 'rm -rf "${BENCH_OUT:-}" "${BACKEND_OUT:-}" "${MEMO_OUT:-}" "${DURA_OUT:-}" "$EXPLORE_OUT"' EXIT
+  if REPRO_EXPLORE_KILL_AFTER="rung:1" python -m repro --scale smoke explore \
+      --out "$EXPLORE_OUT/run" --space tiny --confirm 4 >/dev/null 2>&1; then
+    echo "FAIL: injected kill after rung 1 did not abort the sweep" >&2
+    exit 1
+  fi
+  if [[ ! -f "$EXPLORE_OUT/run/rung_1.json" ]]; then
+    echo "FAIL: rung_1.json not durable at the kill point" >&2
+    exit 1
+  fi
+  python -m repro --scale smoke explore --resume "$EXPLORE_OUT/run" \
+    --space tiny --confirm 4
+  if [[ ! -f "$EXPLORE_OUT/run/frontier.json" ]]; then
+    echo "FAIL: resume did not produce frontier.json" >&2
+    exit 1
+  fi
+  python -m repro doctor --strict "$EXPLORE_OUT/run"
 fi
 
 echo "== ci: OK =="

@@ -1,0 +1,53 @@
+"""Analytical fast-path estimator (ROADMAP item 4).
+
+Closed-form predictions of IPC, LLC hit ratio, NVM write rate and
+projected lifetime for any insertion-policy configuration, computed
+from workload statistics extracted once per workload — orders of
+magnitude cheaper than simulating the configuration.  The estimator
+is the screening tier of the design-space explorer
+(:mod:`repro.explore`); its accuracy contract against real simulation
+RunRecords lives in :mod:`repro.analytical.validate` and is enforced
+by tests and the ci.sh ``analytical`` leg.
+"""
+
+from .model import (
+    AnalyticalEstimate,
+    AnalyticalModel,
+    PolicyDescriptor,
+    estimate_record,
+)
+from .stats import (
+    CLASS_NONE,
+    CLASS_READ,
+    CLASS_WRITE,
+    CoreStatistics,
+    WorkloadStatistics,
+    workload_statistics,
+)
+from .validate import (
+    TOLERANCES,
+    ValidationReport,
+    generate_reference,
+    load_reference,
+    validate_against_reference,
+    validation_table,
+)
+
+__all__ = [
+    "AnalyticalEstimate",
+    "AnalyticalModel",
+    "PolicyDescriptor",
+    "estimate_record",
+    "CLASS_NONE",
+    "CLASS_READ",
+    "CLASS_WRITE",
+    "CoreStatistics",
+    "WorkloadStatistics",
+    "workload_statistics",
+    "TOLERANCES",
+    "ValidationReport",
+    "generate_reference",
+    "load_reference",
+    "validate_against_reference",
+    "validation_table",
+]

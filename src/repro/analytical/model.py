@@ -1,0 +1,487 @@
+"""Closed-form estimator for hybrid-LLC insertion policies.
+
+Given a :class:`~repro.analytical.stats.WorkloadStatistics` and a
+:class:`PolicyDescriptor`, :class:`AnalyticalModel` predicts the four
+quantities the paper's evaluation revolves around — IPC, LLC hit
+ratio, NVM write rate and projected lifetime — without simulating.
+
+The model follows the engine's actual mechanics:
+
+* the LLC is **spill-filled**: blocks enter on L2 evictions, hits keep
+  residency, so an access hits the LLC iff its stack distance ``rd``
+  satisfies ``C_priv <= rd < C_priv + Cap_part / q_part`` where
+  ``q_part`` is the footprint fraction of blocks the policy routes to
+  that part (LRU stack theory on the class-filtered stream);
+* shared capacity is apportioned per core in proportion to its
+  LLC-visible traffic per cycle (a short fixpoint, since access rates
+  depend on the hit ratios being computed);
+* NVM bytes = fresh inserts of missed blocks (ECB bytes for
+  compressed policies, 64 for frame-granularity ones) + in-place
+  dirty updates of NVM-resident blocks;
+* IPC mirrors :class:`repro.timing.core_model.AnalyticalCore`'s
+  charging rule exactly, with the predicted per-level hit fractions;
+* CP_SD / CP_SD_Th are modelled as their election rule applied to the
+  per-candidate estimates — the same ``MaxHitsRule`` /
+  ``HitWriteTradeoffRule`` objects the simulator's controller uses.
+
+Estimates are wrapped in schema-valid ``repro-run/1`` RunRecords
+(kind ``analytical``) so the explorer's screening tier flows through
+the same metrics spine as real simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..core.set_dueling import HitWriteTradeoffRule, MaxHitsRule
+from ..metrics.record import RunRecord
+from ..metrics.registry import register_metric
+from .stats import CLASS_NONE, CLASS_READ, CLASS_WRITE, WorkloadStatistics, workload_statistics
+
+register_metric("analytical", "mean_ipc", "instructions/cycle",
+                "Predicted arithmetic-mean IPC across cores",
+                aggregation="last")
+register_metric("analytical", "llc_hit_rate", "ratio",
+                "Predicted LLC hit ratio (hits / LLC accesses)",
+                aggregation="last")
+register_metric("analytical", "nvm_write_rate", "bytes/s",
+                "Predicted NVM write bandwidth", aggregation="last")
+register_metric("analytical", "lifetime_seconds", "s",
+                "Projected time until the NVM part reaches 50% capacity",
+                aggregation="last")
+register_metric("analytical", "elected_cpth", "bytes",
+                "CP_th the modelled election rule settles on "
+                "(null for fixed policies)", aggregation="last")
+
+#: Fraction of read-reused traffic TAP's hit-count filter qualifies as
+#: thrash-safe per unit of hit threshold (calibrated against cp/tap
+#: simulation records at smoke scale).
+TAP_QUALIFY_BASE = 0.5
+
+#: Policies that move read-reused SRAM victims into NVM on eviction.
+_MIGRATING = ("ca_rwr", "cp_sd", "cp_sd_th", "lhybrid", "tap")
+
+#: NVM bytes charged per clean SRAM hit on a not-yet-qualified block —
+#: the eventual migration of the block it marks read-reused (plus, for
+#: LHybrid/TAP, the NVM re-inserts its qualification unlocks).
+#: Calibrated against the committed validation matrix.
+MIGRATION_RATE = 1.0
+
+#: Fixpoint iterations for the share/rate loop; the loop contracts
+#: fast (shares move < 1% after the third pass).
+_FIXPOINT_ITERATIONS = 4
+
+
+def _apportion(total: float, weights: np.ndarray,
+               demand: np.ndarray) -> np.ndarray:
+    """Water-fill ``total`` capacity over cores ∝ ``weights``, capping
+    each core at its ``demand`` (a core cannot occupy more frames than
+    its footprint needs — LRU hands the slack to whoever reuses it)."""
+    n = len(weights)
+    share = np.zeros(n)
+    active = (weights > 0) & (demand > 0)
+    remaining = float(total)
+    for _ in range(n + 1):
+        if remaining <= 1e-12 or not active.any():
+            break
+        wsum = weights[active].sum()
+        alloc = np.where(active, remaining * weights / wsum, 0.0)
+        take = np.minimum(alloc, demand - share)
+        share += take
+        remaining -= take.sum()
+        active &= share < demand - 1e-9
+    return share
+
+
+def _policy_class(name: str):
+    """The registered policy class (importing repro.core registers all)."""
+    from ..core import policy as _policy_mod  # noqa: F401
+    from .. import core as _core  # noqa: F401 — triggers registration
+
+    return _policy_mod._REGISTRY[name]
+
+
+@dataclass(frozen=True)
+class PolicyDescriptor:
+    """A policy's insertion rules, as data the model can interpret."""
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **params: Any) -> "PolicyDescriptor":
+        return cls(name=name, params=tuple(sorted(params.items())))
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def label(self) -> str:
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}({inner})"
+
+    def make(self, config: SystemConfig):
+        """Instantiate the real policy (the explorer's confirm tier)."""
+        from ..core import make_policy
+
+        kwargs = self.kwargs
+        if self.name in ("cp_sd", "cp_sd_th"):
+            kwargs.setdefault("dueling", config.dueling)
+        return make_policy(self.name, **kwargs)
+
+
+@dataclass
+class AnalyticalEstimate:
+    """The model's prediction for one (config, policy, workload)."""
+
+    mean_ipc: float
+    llc_hit_rate: float
+    nvm_write_rate: float     # bytes/s
+    lifetime_seconds: float
+    elected_cpth: Optional[int] = None
+    ipcs: List[float] = field(default_factory=list)
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def to_run_record(self, meta: Optional[Mapping[str, Any]] = None) -> RunRecord:
+        record = RunRecord(kind="analytical", meta=dict(meta or {}))
+        record.metrics["analytical.mean_ipc"] = float(self.mean_ipc)
+        record.metrics["analytical.llc_hit_rate"] = float(self.llc_hit_rate)
+        record.metrics["analytical.nvm_write_rate"] = float(self.nvm_write_rate)
+        record.metrics["analytical.lifetime_seconds"] = float(self.lifetime_seconds)
+        record.metrics["analytical.elected_cpth"] = (
+            None if self.elected_cpth is None else int(self.elected_cpth)
+        )
+        record.values["ipcs"] = [float(v) for v in self.ipcs]
+        record.values["details"] = {k: float(v) for k, v in self.details.items()}
+        return record
+
+
+@dataclass
+class _PartOutcome:
+    """Per-core per-iteration bookkeeping of one evaluation pass."""
+
+    hits_sram: np.ndarray     # (n_cores,) fraction of all accesses
+    hits_nvm: np.ndarray
+    visible: np.ndarray       # LLC-visible fraction of all accesses
+    l2_hits: np.ndarray
+    nvm_bytes_per_access: np.ndarray
+    cpa: np.ndarray           # cycles per access
+    gap1: np.ndarray          # instructions per access
+
+
+class AnalyticalModel:
+    """Closed-form evaluator bound to one :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        geom = config.llc
+        block = geom.block_size
+        self.l1_blocks = config.l1.size_bytes // block
+        self.l2_blocks = config.l2.size_bytes // block
+        self.priv_blocks = self.l1_blocks + self.l2_blocks
+        self.sram_blocks = geom.n_sets * geom.sram_ways
+        self.nvm_blocks = geom.n_sets * geom.nvm_ways
+        self.nvm_bytes = geom.nvm_bytes
+
+    # ------------------------------------------------------------------
+    def statistics(self, workload,
+                   policy: Optional[PolicyDescriptor] = None) -> WorkloadStatistics:
+        """Workload statistics with the policy's classification reach.
+
+        LHybrid/TAP only classify reuse a block demonstrates from the
+        SRAM part (qualification happens before any NVM residency);
+        the CA family observes reuse anywhere in the cache.
+        """
+        n_cores = max(1, self.config.cores.n_cores)
+        reach = (self.sram_blocks + self.nvm_blocks) // n_cores
+        if policy is not None and policy.name in ("lhybrid", "tap"):
+            reach = self.sram_blocks // n_cores
+        return workload_statistics(workload, self.priv_blocks, max(1, reach))
+
+    # ------------------------------------------------------------------
+    def _routing(self, policy: PolicyDescriptor, core_stats, cpth: Optional[int]):
+        """NVM routing weight per (class, size) cell, or None for a
+        single global-LRU part spanning both technologies."""
+        name = policy.name
+        params = policy.kwargs
+        sizes = core_stats.sizes
+        n_classes, n_sizes = core_stats.cold.shape
+        if name in ("bh", "bh_cp", "sram"):
+            return None
+        w = np.zeros((n_classes, n_sizes))
+        if name == "ca":
+            w[:, sizes <= (cpth if cpth is not None else params.get("cpth", 58))] = 1.0
+            return w
+        if name in ("ca_rwr", "cp_sd", "cp_sd_th"):
+            th = cpth if cpth is not None else params.get("cpth", 58)
+            w[CLASS_READ, :] = 1.0
+            w[CLASS_NONE, sizes <= th] = 1.0
+            return w
+        if name == "lhybrid":
+            w[CLASS_READ, :] = 1.0
+            return w
+        if name == "tap":
+            hit_threshold = int(params.get("hit_threshold", 1))
+            w[CLASS_READ, :] = TAP_QUALIFY_BASE ** hit_threshold
+            return w
+        raise ValueError(f"no analytical routing for policy {name!r}")
+
+    def _compressed(self, policy: PolicyDescriptor) -> bool:
+        return bool(getattr(_policy_class(policy.name), "compressed", True))
+
+    def _granularity(self, policy: PolicyDescriptor) -> str:
+        return str(getattr(_policy_class(policy.name), "granularity", "byte"))
+
+    # ------------------------------------------------------------------
+    def _pass(self, stats: WorkloadStatistics, policy: PolicyDescriptor,
+              cpth: Optional[int], rates: np.ndarray) -> _PartOutcome:
+        """One evaluation pass at fixed per-core access rates."""
+        cfg = self.config
+        lat = cfg.latency
+        mlp = cfg.cores.mlp
+        n = stats.n_cores
+        compressed = self._compressed(policy)
+
+        hits_sram = np.zeros(n)
+        hits_nvm = np.zeros(n)
+        visible = np.zeros(n)
+        l2_hits = np.zeros(n)
+        nvm_bpa = np.zeros(n)
+        gap1 = np.zeros(n)
+        cpa = np.zeros(n)
+
+        # A frame holds exactly one block regardless of csize (the
+        # engine compacts *wear bytes*, not capacity), so part
+        # capacity is its frame count.
+        block = cfg.llc.block_size
+
+        per_core = []
+        for c, cs in enumerate(stats.cores):
+            total = cs.counts.sum() + cs.cold.sum()
+            below_priv = cs.below(cs.counts, self.priv_blocks)
+            vis_cells = cs.counts.sum(axis=-1) - below_priv + cs.cold
+            w = self._routing(policy, cs, cpth)
+            # write probability of a spill, per cell
+            warm = cs.counts.sum(axis=-1)
+            wwarm = cs.write_counts.sum(axis=-1)
+            dirty = np.divide(wwarm, warm, out=np.zeros_like(warm), where=warm > 0)
+            # A write hit (GetX / clean-private upgrade) invalidates the
+            # LLC copy, so the next reuse of a write-reused block misses
+            # and re-inserts: discount its hits by its write probability.
+            inval = np.ones_like(dirty)
+            inval[CLASS_WRITE, :] = 1.0 - dirty[CLASS_WRITE, :]
+            per_core.append((cs, total, below_priv, vis_cells, w, dirty, inval))
+            visible[c] = vis_cells.sum() / total
+
+        def part_capacity(part_frames: float, pws) -> np.ndarray:
+            """Per-core capacity (in frames) of one technology part:
+            frames are water-filled ∝ routed LLC-visible traffic,
+            capped at each core's routed-footprint demand."""
+            demand = np.zeros(n)
+            weights = np.zeros(n)
+            for c, (cs, total, _bp, vis_cells, _w, _d, _i) in enumerate(per_core):
+                pw = pws[c]
+                demand[c] = (pw * cs.blocks).sum()
+                weights[c] = (vis_cells * pw).sum() / total * rates[c]
+            return _apportion(part_frames, weights, demand)
+
+        if per_core[0][4] is None:
+            caps_global = part_capacity(
+                self.sram_blocks + self.nvm_blocks,
+                [np.ones_like(pc[3]) for pc in per_core])
+        else:
+            caps_by_part = {
+                "sram": part_capacity(self.sram_blocks,
+                                      [1.0 - pc[4] for pc in per_core]),
+                "nvm": part_capacity(self.nvm_blocks,
+                                     [pc[4] for pc in per_core]),
+            }
+
+        for c, (cs, total, below_priv, vis_cells, w, dirty, inval) in enumerate(per_core):
+            ecb = cs.ecbs if compressed else np.full_like(cs.ecbs, block)
+            h1 = cs.below(cs.counts, self.l1_blocks).sum() / total
+            h12 = below_priv.sum() / total
+            l2_hits[c] = h12 - h1
+            blocks_total = cs.blocks.sum()
+
+            if w is None:
+                # One global LRU over all ways; SRAM/NVM split follows
+                # the way ratio (insertion at the global LRU way lands
+                # uniformly across technologies).
+                cap = caps_global[c]
+                hi = cs.below(cs.counts, self.priv_blocks + cap)
+                hits_cells = (hi - below_priv) * inval
+                hits_total = hits_cells.sum() / total
+                nvm_frac = (
+                    self.nvm_blocks / (self.sram_blocks + self.nvm_blocks)
+                    if (self.sram_blocks + self.nvm_blocks) else 0.0
+                )
+                hits_sram[c] = hits_total * (1.0 - nvm_frac)
+                hits_nvm[c] = hits_total * nvm_frac
+                miss_cells = vis_cells - hits_cells
+                inserts = (miss_cells * ecb[None, :]).sum() * nvm_frac
+                updates = (hits_cells * dirty * ecb[None, :]).sum() * nvm_frac
+                nvm_bpa[c] = (inserts + updates) / total
+            else:
+                mig_bytes = 0.0
+                for part in ("sram", "nvm"):
+                    pw = w if part == "nvm" else (1.0 - w)
+                    cap = caps_by_part[part][c]
+                    q = (pw * cs.blocks).sum() / blocks_total if blocks_total else 0.0
+                    if cap <= 0 or q <= 0:
+                        hits_cells = np.zeros_like(vis_cells)
+                    else:
+                        hi = cs.below(cs.counts, self.priv_blocks + cap / q)
+                        hits_cells = (hi - below_priv) * pw * inval
+                    ht = hits_cells.sum() / total
+                    miss_cells = vis_cells * pw - hits_cells
+                    if part == "nvm":
+                        hits_nvm[c] = ht
+                        inserts = (miss_cells * ecb[None, :]).sum()
+                        updates = (hits_cells * dirty * ecb[None, :]).sum()
+                        nvm_bpa[c] = (inserts + updates + mig_bytes) / total
+                    else:
+                        hits_sram[c] = ht
+                        if policy.name in _MIGRATING:
+                            # A clean hit on an unqualified SRAM block
+                            # marks it read-reused; its eventual
+                            # eviction migrates it into NVM.
+                            clean = hits_cells * (1.0 - dirty)
+                            mig_bytes = MIGRATION_RATE * (
+                                clean[(CLASS_NONE, CLASS_READ), :]
+                                * ecb[None, :]
+                            ).sum()
+
+            gap1[c] = cs.gap_mean + 1.0
+            miss = visible[c] - hits_sram[c] - hits_nvm[c]
+            cpa[c] = (
+                gap1[c] * cfg.cores.base_cpi
+                + l2_hits[c] * lat.l2_hit / mlp
+                + hits_sram[c] * lat.llc_sram_load / mlp
+                + hits_nvm[c] * lat.llc_nvm_total_load / mlp
+                + miss * lat.memory / mlp
+            )
+
+        return _PartOutcome(hits_sram, hits_nvm, visible, l2_hits,
+                            nvm_bpa, cpa, gap1)
+
+    def _evaluate(self, stats: WorkloadStatistics, policy: PolicyDescriptor,
+                  cpth: Optional[int]) -> Tuple[_PartOutcome, np.ndarray]:
+        cfg = self.config
+        n = stats.n_cores
+        rates = np.full(n, 1.0 / ((np.mean(
+            [cs.gap_mean for cs in stats.cores]) + 1.0) * cfg.cores.base_cpi))
+        outcome = None
+        for _ in range(_FIXPOINT_ITERATIONS):
+            outcome = self._pass(stats, policy, cpth, rates)
+            rates = 1.0 / outcome.cpa
+        return outcome, rates
+
+    # ------------------------------------------------------------------
+    def _lifetime_seconds(self, policy: PolicyDescriptor,
+                          write_rate: float) -> float:
+        """Time until the NVM part degrades to 50% capacity.
+
+        Uniform wear leveling spreads the byte-write rate over the
+        whole part; under byte disabling half the bytes are dead when
+        per-byte wear reaches the *median* endurance (= the mean of
+        the normal draw), while frame disabling loses a frame at its
+        weakest byte — the median min-of-64 draw, ``mean - 2.25 sigma``.
+        """
+        if write_rate <= 0 or self.nvm_bytes <= 0:
+            return float("inf")
+        end = self.config.endurance
+        if self._granularity(policy) == "frame":
+            eff = max(end.min_fraction, 1.0 - 2.25 * end.cv) * end.mean
+        else:
+            eff = end.mean
+        return eff * self.nvm_bytes / write_rate
+
+    # ------------------------------------------------------------------
+    def estimate(self, workload, policy: PolicyDescriptor) -> AnalyticalEstimate:
+        """Predict (IPC, hit ratio, NVM write rate, lifetime)."""
+        stats = self.statistics(workload, policy)
+        cfg = self.config
+
+        elected: Optional[int] = None
+        if policy.name in ("cp_sd", "cp_sd_th"):
+            candidates = sorted(cfg.dueling.cpth_candidates)
+            raw: List[Tuple[float, float]] = []
+            outcomes = []
+            for cand in candidates:
+                outcome, rates = self._evaluate(stats, policy, cand)
+                hits = ((outcome.hits_sram + outcome.hits_nvm) * rates).sum()
+                writes = (outcome.nvm_bytes_per_access * rates).sum()
+                raw.append((hits, writes))
+                outcomes.append((outcome, rates))
+            # Leader sets sample 1/leader_groups of the traffic, so the
+            # controller cannot resolve sub-percent hit differences;
+            # quantising to that resolution reproduces its tie-breaks
+            # (equal hits -> the smaller, write-cheaper threshold).
+            h_scale = max(h for h, _w in raw) or 1.0
+            w_scale = max(w for _h, w in raw) or 1.0
+            hits_by = [int(round(400 * h / h_scale)) for h, _w in raw]
+            writes_by = [int(round(400 * w / w_scale)) for _h, w in raw]
+            if policy.name == "cp_sd":
+                rule = MaxHitsRule()
+            else:
+                params = policy.kwargs
+                rule = HitWriteTradeoffRule(
+                    float(params.get("th", cfg.dueling.hit_loss_pct)),
+                    float(params.get("tw", cfg.dueling.write_gain_pct)),
+                )
+            k = rule.elect(candidates, hits_by, writes_by)
+            elected = candidates[k]
+            outcome, rates = outcomes[k]
+        else:
+            cpth = policy.kwargs.get("cpth")
+            outcome, rates = self._evaluate(stats, policy, cpth)
+            if policy.name == "ca":
+                elected = int(policy.kwargs.get("cpth", 58))
+
+        ipcs = list(outcome.gap1 / outcome.cpa)
+        visible_rate = (outcome.visible * rates).sum()
+        hits_rate = ((outcome.hits_sram + outcome.hits_nvm) * rates).sum()
+        hit_rate = hits_rate / visible_rate if visible_rate > 0 else 0.0
+        bytes_per_cycle = (outcome.nvm_bytes_per_access * rates).sum()
+        write_rate = bytes_per_cycle * cfg.latency.cpu_freq_hz
+        return AnalyticalEstimate(
+            mean_ipc=float(np.mean(ipcs)),
+            llc_hit_rate=float(hit_rate),
+            nvm_write_rate=float(write_rate),
+            lifetime_seconds=float(self._lifetime_seconds(policy, write_rate)),
+            elected_cpth=elected,
+            ipcs=[float(v) for v in ipcs],
+            details={
+                "hits_sram": float(outcome.hits_sram.sum()),
+                "hits_nvm": float(outcome.hits_nvm.sum()),
+                "llc_visible": float(outcome.visible.sum()),
+                "bytes_per_cycle": float(bytes_per_cycle),
+            },
+        )
+
+
+def estimate_record(
+    config: SystemConfig,
+    workload,
+    policy: PolicyDescriptor,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> RunRecord:
+    """One analytical evaluation as a schema-valid RunRecord."""
+    from ..manifest import describe_workload
+
+    model = AnalyticalModel(config)
+    estimate = model.estimate(workload, policy)
+    base = {
+        "policy": {"name": policy.name, **policy.kwargs},
+        "workload": describe_workload(workload),
+        "estimator": "analytical/1",
+    }
+    base.update(meta or {})
+    return estimate.to_run_record(meta=base)

@@ -1,0 +1,251 @@
+"""Accuracy contract: analytical estimates vs committed RunRecords.
+
+The estimator is only trustworthy as a screening tier if its error
+against real simulation is known and bounded.  This module
+
+* **generates** the reference: one `run_one` RunRecord per
+  (policy, mix) case of the validation matrix, committed as a
+  checksummed ``repro-analytical-reference/1`` blob under
+  ``benchmarks/results/validation/``;
+* **validates**: re-runs the estimator against every committed case
+  and reports per-metric mean relative errors;
+* **gates**: :data:`TOLERANCES` are the documented bounds — the test
+  suite and the ci.sh ``analytical`` leg fail when a mean error
+  drifts past them (e.g. after a model or engine change, in which
+  case either fix the regression or regenerate + re-commit the
+  reference and the docs table together).
+
+Lifetime has no directly simulated counterpart (a run measures
+minutes, not years), so its reference value is *derived* from the
+measured NVM write rate through the same wear-leveling formula the
+estimator uses; its error row therefore mirrors the write-rate error
+and is reported for completeness, not separately gated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..metrics.record import RunRecord
+from .model import AnalyticalModel, PolicyDescriptor
+
+PathLike = Union[str, Path]
+
+REFERENCE_SCHEMA = "repro-analytical-reference/1"
+
+#: Default committed reference location (smoke scale: the one CI runs).
+DEFAULT_REFERENCE = Path("benchmarks/results/validation/REFERENCE_smoke.json")
+
+#: The validation matrix: every Table III policy the model interprets.
+REFERENCE_POLICIES: Tuple[PolicyDescriptor, ...] = (
+    PolicyDescriptor.of("bh"),
+    PolicyDescriptor.of("bh_cp"),
+    PolicyDescriptor.of("ca", cpth=58),
+    PolicyDescriptor.of("ca_rwr", cpth=58),
+    PolicyDescriptor.of("lhybrid"),
+    PolicyDescriptor.of("tap"),
+    PolicyDescriptor.of("cp_sd"),
+    PolicyDescriptor.of("cp_sd_th", th=4.0, tw=5.0),
+)
+
+#: Documented per-metric error bounds (mean over the matrix).
+#: ``mean_ipc`` / ``nvm_write_rate`` are mean |relative| errors;
+#: ``llc_hit_rate`` is a mean |absolute| error (the quantity is
+#: already a ratio in [0, 1]).  docs/analytical_validation.md holds
+#: the committed measured table; tests + scripts/ci.sh enforce these.
+TOLERANCES: Dict[str, float] = {
+    "mean_ipc": 0.08,
+    "llc_hit_rate": 0.10,
+    "nvm_write_rate": 0.45,
+}
+
+
+@dataclass
+class ValidationRow:
+    """One (policy, mix, metric) comparison."""
+
+    policy: str
+    mix: str
+    metric: str
+    predicted: float
+    simulated: float
+
+    @property
+    def error(self) -> float:
+        """|relative| error, except |absolute| for llc_hit_rate."""
+        if self.metric == "llc_hit_rate":
+            return abs(self.predicted - self.simulated)
+        if self.simulated == 0:
+            return 0.0 if self.predicted == 0 else float("inf")
+        return abs(self.predicted / self.simulated - 1.0)
+
+
+@dataclass
+class ValidationReport:
+    """Per-case rows + per-metric aggregate errors."""
+
+    rows: List[ValidationRow] = field(default_factory=list)
+
+    def mean_errors(self) -> Dict[str, float]:
+        by_metric: Dict[str, List[float]] = {}
+        for row in self.rows:
+            by_metric.setdefault(row.metric, []).append(row.error)
+        return {m: sum(v) / len(v) for m, v in sorted(by_metric.items())}
+
+    def failures(
+        self, tolerances: Mapping[str, float] = TOLERANCES
+    ) -> Dict[str, Tuple[float, float]]:
+        """Gated metrics outside tolerance: name -> (error, bound)."""
+        means = self.mean_errors()
+        return {
+            m: (means[m], bound)
+            for m, bound in tolerances.items()
+            if m in means and means[m] > bound
+        }
+
+    def ok(self, tolerances: Mapping[str, float] = TOLERANCES) -> bool:
+        return not self.failures(tolerances)
+
+    def summary(self, tolerances: Mapping[str, float] = TOLERANCES) -> str:
+        parts = []
+        means = self.mean_errors()
+        for metric, err in means.items():
+            bound = tolerances.get(metric)
+            mark = ""
+            if bound is not None:
+                mark = " OK" if err <= bound else f" FAIL(>{bound:.0%})"
+            parts.append(f"{metric} {err:.1%}{mark}")
+        status = "ok" if self.ok(tolerances) else "FAIL"
+        return f"analytical validation {status}: " + ", ".join(parts)
+
+
+def _sim_metrics(record: RunRecord, model: AnalyticalModel,
+                 policy: PolicyDescriptor) -> Dict[str, float]:
+    m = record.metrics
+    accesses = m["llc.gets"] + m["llc.getx"]
+    hits = m["llc.gets_hits"] + m["llc.getx_hits"]
+    seconds = m["sim.seconds"] or 0.0
+    write_rate = m["llc.nvm_bytes_written"] / seconds if seconds else 0.0
+    return {
+        "mean_ipc": m["hierarchy.mean_ipc"],
+        "llc_hit_rate": hits / accesses if accesses else 0.0,
+        "nvm_write_rate": write_rate,
+        "lifetime_seconds": model._lifetime_seconds(policy, write_rate),
+    }
+
+
+# ----------------------------------------------------------------------
+def generate_reference(
+    scale, path: PathLike = DEFAULT_REFERENCE,
+    policies: Sequence[PolicyDescriptor] = REFERENCE_POLICIES,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Simulate the validation matrix and persist it via fsio."""
+    from ..experiments.common import run_one
+    from ..fsio.durable import write_blob_json
+
+    cases: List[Dict[str, Any]] = []
+    for mix in scale.mixes:
+        workload = scale.workload(mix, seed=seed)
+        config = scale.system()
+        for desc in policies:
+            record = run_one(config, desc.make(config), workload,
+                             scale.warmup_epochs, scale.phase_epochs)
+            cases.append({
+                "policy": desc.name,
+                "params": desc.kwargs,
+                "mix": mix,
+                "seed": seed,
+                "record": record.to_json(),
+            })
+    document = {
+        "schema": REFERENCE_SCHEMA,
+        "scale": scale.name,
+        "seed": seed,
+        "cases": cases,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    write_blob_json(path, document, schema=REFERENCE_SCHEMA)
+    return document
+
+
+def load_reference(path: PathLike = DEFAULT_REFERENCE) -> Optional[Dict[str, Any]]:
+    """Load a committed reference blob, or None if absent."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    from ..fsio.durable import unwrap_json
+
+    document = unwrap_json(json.loads(path.read_text()), path=path)
+    if document.get("schema") != REFERENCE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected {REFERENCE_SCHEMA}, got {document.get('schema')!r}"
+        )
+    return document
+
+
+def validate_against_reference(
+    reference: Mapping[str, Any], scale=None
+) -> ValidationReport:
+    """Estimate every committed case and diff against its RunRecord."""
+    from ..experiments.common import get_scale
+
+    if scale is None:
+        scale = get_scale(reference["scale"])
+    config = scale.system()
+    model = AnalyticalModel(config)
+    report = ValidationReport()
+    workloads: Dict[Tuple[str, int], Any] = {}
+    for case in reference["cases"]:
+        desc = PolicyDescriptor.of(case["policy"], **case["params"])
+        key = (case["mix"], case["seed"])
+        workload = workloads.get(key)
+        if workload is None:
+            workload = scale.workload(case["mix"], seed=case["seed"])
+            workloads[key] = workload
+        record = RunRecord.from_json(case["record"])
+        sim = _sim_metrics(record, model, desc)
+        est = model.estimate(workload, desc)
+        predicted = {
+            "mean_ipc": est.mean_ipc,
+            "llc_hit_rate": est.llc_hit_rate,
+            "nvm_write_rate": est.nvm_write_rate,
+            "lifetime_seconds": est.lifetime_seconds,
+        }
+        for metric in ("mean_ipc", "llc_hit_rate", "nvm_write_rate",
+                       "lifetime_seconds"):
+            report.rows.append(ValidationRow(
+                policy=desc.label(),
+                mix=case["mix"],
+                metric=metric,
+                predicted=predicted[metric],
+                simulated=sim[metric],
+            ))
+    return report
+
+
+def validation_table(report: ValidationReport,
+                     tolerances: Mapping[str, float] = TOLERANCES) -> str:
+    """The markdown table committed to docs/analytical_validation.md."""
+    lines = [
+        "| policy | mix | metric | predicted | simulated | error |",
+        "|---|---|---|---:|---:|---:|",
+    ]
+    for row in report.rows:
+        lines.append(
+            f"| {row.policy} | {row.mix} | {row.metric} "
+            f"| {row.predicted:.4g} | {row.simulated:.4g} "
+            f"| {row.error:.1%} |"
+        )
+    lines.append("")
+    lines.append("| metric | mean error | tolerance |")
+    lines.append("|---|---:|---:|")
+    for metric, err in report.mean_errors().items():
+        bound = tolerances.get(metric)
+        bound_s = f"{bound:.0%}" if bound is not None else "(reported only)"
+        lines.append(f"| {metric} | {err:.1%} | {bound_s} |")
+    return "\n".join(lines)

@@ -20,10 +20,12 @@ from .compare import (
     BackendMismatchError,
     BenchComparison,
     CaseComparison,
+    PhaseComparison,
     bench_backend,
     compare_benches,
     load_bench,
 )
+from .explore import MIN_INSTRUCTION_SPEEDUP, ExploreBenchError, run_explore_bench
 from .golden import GOLDEN_MIX, GOLDEN_POLICIES, compute_golden_digests, simulation_digest
 from .memo import MemoBenchError, run_memo_bench
 from .parallel import run_parallel_bench
@@ -38,7 +40,10 @@ __all__ = [
     "bench_backend",
     "GOLDEN_MIX",
     "GOLDEN_POLICIES",
+    "ExploreBenchError",
     "MemoBenchError",
+    "MIN_INSTRUCTION_SPEEDUP",
+    "PhaseComparison",
     "STATUS_IMPROVEMENT",
     "STATUS_MISSING_BASELINE",
     "STATUS_OK",
@@ -48,6 +53,7 @@ __all__ = [
     "phase_breakdown",
     "load_bench",
     "run_bench",
+    "run_explore_bench",
     "run_memo_bench",
     "run_parallel_bench",
     "simulation_digest",

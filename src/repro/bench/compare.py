@@ -54,6 +54,29 @@ def bench_backend(document: dict) -> str:
     return document.get("backend") or "reference"
 
 
+#: Phase-breakdown keys diffed between documents (seconds spent per
+#: engine phase across the matrix; see ``runner.phase_breakdown``).
+_PHASE_KEYS = ("trace_replay_est_s", "access_path_s", "epoch_bookkeeping_s")
+
+#: Host fields whose mismatch makes a timing ratio suspect.
+_HOST_KEYS = ("platform", "machine", "cpu_count")
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """One engine phase's time, current vs baseline (whole matrix)."""
+
+    phase: str
+    baseline_seconds: float
+    current_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_seconds <= 0:
+            return 0.0
+        return self.current_seconds / self.baseline_seconds
+
+
 @dataclass(frozen=True)
 class CaseComparison:
     """One (policy, mix) cell diffed against the baseline."""
@@ -81,6 +104,8 @@ class BenchComparison:
     current_geomean: float = 0.0
     cases: List[CaseComparison] = field(default_factory=list)
     missing_cases: List[str] = field(default_factory=list)
+    phases: List[PhaseComparison] = field(default_factory=list)
+    host_warnings: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -168,6 +193,33 @@ def compare_benches(
             )
         )
 
+    # A moved-goalposts warning, not a gate: a ratio taken across two
+    # different hosts measures the hardware, not the change.
+    host_warnings: List[str] = []
+    cur_host = current.get("host") or {}
+    base_host = baseline.get("host") or {}
+    if cur_host and base_host:
+        for key in _HOST_KEYS:
+            if cur_host.get(key) != base_host.get(key):
+                host_warnings.append(
+                    f"host mismatch: {key} {cur_host.get(key)!r} vs "
+                    f"baseline {base_host.get(key)!r} — timing ratios "
+                    "compare hosts, not the change"
+                )
+
+    # Where did a regression go?  The per-phase seconds localise it to
+    # record delivery, the access path, or epoch bookkeeping.
+    phases: List[PhaseComparison] = []
+    cur_phases = current.get("phase_breakdown") or {}
+    base_phases = baseline.get("phase_breakdown") or {}
+    if cur_phases and base_phases:
+        for key in _PHASE_KEYS:
+            phases.append(PhaseComparison(
+                phase=key[: -len("_s")] if key.endswith("_s") else key,
+                baseline_seconds=float(base_phases.get(key, 0.0)),
+                current_seconds=float(cur_phases.get(key, 0.0)),
+            ))
+
     baseline_geomean = baseline.get("geomean_mcycles_per_s", 0.0)
     current_geomean = current.get("geomean_mcycles_per_s", 0.0)
     ratios = [c.ratio for c in cases]
@@ -193,4 +245,6 @@ def compare_benches(
         current_geomean=current_geomean,
         cases=cases,
         missing_cases=missing,
+        phases=phases,
+        host_warnings=host_warnings,
     )

@@ -13,6 +13,12 @@ Commands
                 or ``--check`` committed artefacts for schema drift
 ``doctor``    — audit artefact integrity (envelopes, checksums,
                 schemas); ``--repair`` quarantines, ``--strict`` gates
+``analytical``— validate the closed-form estimator against the
+                committed reference matrix (``--regenerate`` re-runs
+                and re-commits it)
+``explore``   — successive-halving design-space sweep: analytical
+                screening rungs, simulated confirmation, Pareto
+                frontier; crash-consistent artefacts with ``--resume``
 
 Unknown mix/policy/scale/experiment names exit with code 2 and a
 one-line "did you mean" suggestion instead of a traceback.
@@ -352,6 +358,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _print_comparison_detail(comparison) -> None:
+    """Phase-delta table + host-mismatch warnings of a bench diff."""
+    if comparison.phases:
+        print("  phase breakdown (current vs baseline):")
+        for ph in comparison.phases:
+            print(
+                f"    {ph.phase:20s} {ph.current_seconds:7.2f}s vs "
+                f"{ph.baseline_seconds:7.2f}s  {ph.ratio:5.2f}x"
+            )
+    for warning in comparison.host_warnings:
+        print(f"  WARNING: {warning}")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         BackendMismatchError,
@@ -365,6 +384,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     scale = _resolve_scale(args.scale)
     backend = _check_backend(args.backend)
+
+    if args.explore:
+        from .bench.explore import ExploreBenchError, run_explore_bench
+
+        label = args.label if args.label != "engine" else "explore"
+        try:
+            document = run_explore_bench(scale, label=label, progress=print)
+        except ExploreBenchError as exc:
+            print(f"explore bench FAILED: {exc}", file=sys.stderr)
+            return 1
+        path = write_bench(document, args.out)
+        print(f"wrote {path}")
+        info = document["explore"]
+        print(
+            f"explore leverage {info['instruction_speedup']:.0f}x "
+            f"(floor {info['speedup_floor']:.0f}x) over "
+            f"{info['n_points']} points in {info['total_seconds']:.1f}s"
+        )
+        return 0
 
     if args.memo:
         from .bench.memo import MemoBenchError, run_memo_bench
@@ -401,6 +439,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         for case in comparison.cases:
             print(f"  {case.policy:14s} {case.mix:12s} {case.ratio:5.2f}x")
+        _print_comparison_detail(comparison)
         print(comparison.summary())
         return 0 if comparison.ok else 1
 
@@ -468,6 +507,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"  {case.policy:10s} {case.mix:6s} {case.ratio:5.2f}x")
     for missing in comparison.missing_cases:
         print(f"  {missing}: not in baseline")
+    _print_comparison_detail(comparison)
     print(comparison.summary())
     return 0 if comparison.ok else 1
 
@@ -519,6 +559,89 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     print(report.summary())
     if args.strict:
         return 0 if report.ok else 1
+    return 0
+
+
+def cmd_analytical(args: argparse.Namespace) -> int:
+    from .analytical.validate import (
+        DEFAULT_REFERENCE,
+        TOLERANCES,
+        generate_reference,
+        load_reference,
+        validate_against_reference,
+        validation_table,
+    )
+    from .experiments.common import get_scale
+
+    reference_path = args.reference or DEFAULT_REFERENCE
+    if args.regenerate:
+        scale = _resolve_scale(args.scale)
+        generate_reference(scale, reference_path)
+        print(f"wrote {reference_path} ({scale.name} scale)")
+
+    reference = load_reference(reference_path)
+    if reference is None:
+        raise UsageError(
+            f"no reference at {reference_path}; generate one with "
+            "'repro analytical --regenerate'"
+        )
+    scale = get_scale(reference["scale"])
+    report = validate_against_reference(reference, scale)
+    if args.table:
+        print(validation_table(report, TOLERANCES))
+    print(report.summary(TOLERANCES))
+    return 0 if report.ok(TOLERANCES) else 1
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .experiments import format_records
+    from .explore import (
+        OBJECTIVES,
+        SPACE_NAMES,
+        ExploreError,
+        ExploreSettings,
+        run_explore,
+    )
+
+    if args.resume:
+        directory, resume = args.resume, True
+    else:
+        if not args.out:
+            raise UsageError("explore needs --out DIR (or --resume DIR)")
+        directory, resume = args.out, False
+    scale = _resolve_scale(args.scale)
+    _check_choice("space", args.space, SPACE_NAMES)
+    _check_choice("objective", args.objective, OBJECTIVES)
+    try:
+        settings = ExploreSettings(
+            space=args.space,
+            eta=args.eta,
+            confirm=args.confirm,
+            objective=args.objective,
+            seed=args.seed,
+            backend=_check_backend(args.backend),
+        )
+        result = run_explore(scale, directory, settings, resume=resume,
+                             progress=print)
+    except ExploreError as exc:
+        raise UsageError(str(exc)) from None
+
+    rows = [
+        {
+            "point": e.point.key(),
+            "mean_ipc": round(e.mean_ipc, 4),
+            "llc_hit_rate": round(e.llc_hit_rate, 4),
+            "lifetime_s": f"{e.lifetime_seconds:.3g}",
+        }
+        for e in result.frontier
+    ]
+    print(format_records(rows, f"Pareto frontier ({settings.objective})"))
+    print(
+        f"explore ok: {result.n_points} points, {result.n_evaluations} "
+        f"analytical evaluations, {len(result.confirmed)} confirmed, "
+        f"{result.instruction_speedup:.0f}x fewer simulated instructions "
+        "than exhaustive"
+    )
     return 0
 
 
@@ -631,6 +754,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="memoization mode: time a cold vs cache-served "
                         "campaign pass (verified byte-identical) plus a "
                         "snapshot warm-start; writes BENCH_memo.json")
+    p.add_argument("--explore", action="store_true",
+                   help="explorer mode: run the full default design space "
+                        "through the analytical screening tier, measure "
+                        "the simulated-instruction speedup vs exhaustive "
+                        "(gated at 50x); writes BENCH_explore.json")
     p.add_argument("--out", default="benchmarks/results", metavar="DIR",
                    help="directory for BENCH_<label>.json")
     p.add_argument("--baseline", default=None, metavar="FILE",
@@ -683,6 +811,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit nonzero on any corruption finding (CI gate); "
                         "warnings (stale cache entries) never fail")
     p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser(
+        "analytical",
+        help="validate the closed-form estimator against the committed "
+             "reference matrix (exit 1 when a mean error leaves its "
+             "documented tolerance)",
+    )
+    p.add_argument("--scale", default=argparse.SUPPRESS,
+                   help="scale for --regenerate (default: env)")
+    p.add_argument("--reference", default=None, metavar="FILE",
+                   help="reference blob (default: "
+                        "benchmarks/results/validation/REFERENCE_smoke.json)")
+    p.add_argument("--regenerate", action="store_true",
+                   help="re-simulate the validation matrix and rewrite "
+                        "the reference blob before validating")
+    p.add_argument("--table", action="store_true",
+                   help="print the per-case markdown table (the one "
+                        "committed to docs/analytical_validation.md)")
+    p.set_defaults(func=cmd_analytical)
+
+    p = sub.add_parser(
+        "explore",
+        help="successive-halving design-space sweep: analytical "
+             "screening, simulated confirmation, Pareto frontier",
+    )
+    p.add_argument("--scale", default=argparse.SUPPRESS,
+                   help="smoke | default | full | paper (default: env)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="exploration directory to create")
+    p.add_argument("--resume", default=None, metavar="DIR",
+                   help="existing exploration directory to resume")
+    p.add_argument("--space", default="default",
+                   help="design space: default (1008 points) | tiny (CI)")
+    p.add_argument("--eta", type=int, default=4,
+                   help="successive-halving keep ratio (keep 1/eta per rung)")
+    p.add_argument("--confirm", type=int, default=16,
+                   help="survivors confirmed with real simulations")
+    p.add_argument("--objective", default="balanced",
+                   help="rung scoring: performance | lifetime | balanced")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed of the rung fidelity ladder")
+    p.add_argument("--backend", default=None,
+                   help="engine backend for the confirmation simulations: "
+                        "reference | vectorized (default: env "
+                        "REPRO_BACKEND, then reference)")
+    p.set_defaults(func=cmd_explore)
     return parser
 
 

@@ -181,6 +181,7 @@ def run_one(
     warmup_epochs: float,
     measure_epochs: float,
     capacities=None,
+    backend: Optional[str] = None,
 ):
     """One warm-up-then-measure simulation (shared by the sweeps).
 
@@ -226,7 +227,7 @@ def run_one(
         key = warm_prefix_key(config, policy, workload, warmup, capacities)
         if key is not None:
             entry = store.get(key)
-            sim = Simulation(config, policy, workload)
+            sim = Simulation(config, policy, workload, backend=backend)
             if entry is None:
                 if capacities is not None:
                     sim.hierarchy.llc.faultmap.load_capacities(capacities)
@@ -241,7 +242,7 @@ def run_one(
             result.epochs[:0] = prefix_epochs
 
     if result is None:
-        sim = Simulation(config, policy, workload)
+        sim = Simulation(config, policy, workload, backend=backend)
         if capacities is not None:
             sim.hierarchy.llc.faultmap.load_capacities(capacities)
         result = sim.run(cycles=total, warmup_cycles=warmup)

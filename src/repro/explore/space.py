@@ -1,0 +1,147 @@
+"""Design space of the explorer: every knob the paper sweeps, as data.
+
+A :class:`DesignPoint` is one fully specified LLC configuration — an
+insertion policy with its parameters, the SRAM/NVM way split, and the
+endurance variability ``cv`` the lifetime projection assumes.  A
+:class:`ExploreSpace` is a named, ordered, reproducible collection of
+points; :meth:`ExploreSpace.default` enumerates the full ladder the
+paper's sensitivity studies span (>1000 points), :meth:`ExploreSpace.tiny`
+is the CI smoke grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..analytical.model import PolicyDescriptor
+
+#: SRAM/NVM way splits of a 16-way hybrid LLC the paper considers.
+WAY_SPLITS: Tuple[Tuple[int, int], ...] = ((2, 14), (4, 12), (6, 10), (8, 8))
+
+#: Endurance variability (cv of the per-byte endurance draw).
+CV_VALUES: Tuple[float, ...] = (0.1, 0.2, 0.3)
+
+#: The CP_th candidate ladder (Table IV / set-dueling candidates).
+CPTH_LADDER: Tuple[int, ...] = (30, 37, 44, 51, 58, 64)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration of the design space."""
+
+    policy: str
+    params: Tuple[Tuple[str, Any], ...]
+    sram_ways: int
+    nvm_ways: int
+    cv: float
+
+    @classmethod
+    def of(cls, policy: str, sram_ways: int = 4, nvm_ways: int = 12,
+           cv: float = 0.2, **params: Any) -> "DesignPoint":
+        return cls(policy=policy, params=tuple(sorted(params.items())),
+                   sram_ways=sram_ways, nvm_ways=nvm_ways, cv=cv)
+
+    def descriptor(self) -> PolicyDescriptor:
+        return PolicyDescriptor(name=self.policy, params=self.params)
+
+    def system(self, scale):
+        """The scaled :class:`SystemConfig` this point runs under."""
+        return scale.system(sram_ways=self.sram_ways,
+                            nvm_ways=self.nvm_ways, cv=self.cv)
+
+    def key(self) -> str:
+        """Stable identity used in artefacts and resume checks."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return (f"{self.policy}({inner})@{self.sram_ways}+{self.nvm_ways}"
+                f"/cv{self.cv:g}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "params": dict(self.params),
+            "sram_ways": self.sram_ways,
+            "nvm_ways": self.nvm_ways,
+            "cv": self.cv,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "DesignPoint":
+        return cls.of(data["policy"], sram_ways=data["sram_ways"],
+                      nvm_ways=data["nvm_ways"], cv=data["cv"],
+                      **data["params"])
+
+
+@dataclass(frozen=True)
+class ExploreSpace:
+    """A named, reproducibly ordered set of design points."""
+
+    name: str
+    points: Tuple[DesignPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls) -> "ExploreSpace":
+        """The full sweep: policies x CP_th ladder x way splits x cv.
+
+        84 policy variants per (split, cv) cell x 4 splits x 3 cv
+        values = 1008 points — the ">= 1000 configurations" scale the
+        explorer is sized for.
+        """
+        points: List[DesignPoint] = []
+        for sram_ways, nvm_ways in WAY_SPLITS:
+            for cv in CV_VALUES:
+                def add(policy: str, **params: Any) -> None:
+                    points.append(DesignPoint.of(
+                        policy, sram_ways=sram_ways, nvm_ways=nvm_ways,
+                        cv=cv, **params))
+
+                add("bh")
+                add("bh_cp")
+                add("sram")
+                add("lhybrid")
+                for hit_threshold in (1, 2, 3):
+                    add("tap", hit_threshold=hit_threshold)
+                for cpth in CPTH_LADDER:
+                    add("ca", cpth=cpth)
+                    add("ca_rwr", cpth=cpth)
+                add("cp_sd")
+                for th in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0):
+                    for tw in (1.25, 2.5, 3.75, 5.0, 6.25, 7.5, 8.75, 10.0):
+                        add("cp_sd_th", th=th, tw=tw)
+        return cls(name="default", points=tuple(points))
+
+    @classmethod
+    def tiny(cls) -> "ExploreSpace":
+        """CI smoke grid: a handful of points across every policy kind."""
+        points = [
+            DesignPoint.of("bh"),
+            DesignPoint.of("bh_cp"),
+            DesignPoint.of("lhybrid"),
+            DesignPoint.of("tap"),
+            DesignPoint.of("ca", cpth=44),
+            DesignPoint.of("ca", cpth=58),
+            DesignPoint.of("ca_rwr", cpth=58),
+            DesignPoint.of("ca_rwr", cpth=58, sram_ways=8, nvm_ways=8),
+            DesignPoint.of("cp_sd"),
+            DesignPoint.of("cp_sd_th", th=4.0, tw=5.0),
+            DesignPoint.of("cp_sd_th", th=4.0, tw=5.0, cv=0.3),
+            DesignPoint.of("cp_sd_th", th=8.0, tw=2.5),
+        ]
+        return cls(name="tiny", points=tuple(points))
+
+    @classmethod
+    def by_name(cls, name: str) -> "ExploreSpace":
+        try:
+            return {"default": cls.default, "tiny": cls.tiny}[name]()
+        except KeyError:
+            raise KeyError(
+                f"unknown explore space {name!r}; choose from default, tiny"
+            ) from None
+
+
+#: Valid ``--space`` names.
+SPACE_NAMES: Tuple[str, ...] = ("default", "tiny")

@@ -51,9 +51,11 @@ def _ensure_registrations() -> None:
     does not reach (experiment units, the bench runner).  Loading is
     the one place that must see the full registry, so it imports them.
     """
+    from ..analytical import model as _analytical  # noqa: F401
     from ..bench import runner as _bench_runner  # noqa: F401
     from ..experiments import compressibility as _fig2  # noqa: F401
     from ..experiments import lifetime as _lifetime  # noqa: F401
+    from ..explore import explorer as _explorer  # noqa: F401
 
 
 def _record_from_payload(data: Any, source: str) -> RunRecord:
@@ -279,13 +281,16 @@ def check_artifacts(
         for record in records:
             if record.kind == "bench":
                 # Matrix benches carry "cases"; the parallel-scaling
-                # bench carries "scaling" — both must keep their
-                # schema-tagged document for ``compare`` to read.
+                # bench carries "scaling"; the memo and explorer
+                # benches carry their namesake sections — each must
+                # keep its schema-tagged document for the consumers
+                # (``compare``, the speedup gates) to read.
                 document = record.values.get("document")
                 if (
                     not isinstance(document, dict)
                     or "schema" not in document
-                    or not ({"cases", "scaling"} & set(document))
+                    or not ({"cases", "scaling", "memo", "explore"}
+                            & set(document))
                 ):
                     errors.append(
                         f"{path}: bench record has no embedded document"

@@ -161,3 +161,91 @@ def test_cli_bench_regression_exits_nonzero(bench_document, tmp_path):
         measured / 10, [("bh", "mix1", measured / 10)], label="slower"
     )))
     assert main(argv[:-1] + [str(slower)]) == 0
+
+
+# ----------------------------------------------------------------------
+# phase-delta table and host-mismatch warnings in the comparison
+# ----------------------------------------------------------------------
+
+def _phases(replay, access, epoch):
+    return {
+        "trace_replay_est_s": replay,
+        "access_path_s": access,
+        "epoch_bookkeeping_s": epoch,
+    }
+
+
+def test_compare_reports_phase_deltas():
+    current = _document(1.0, [("bh", "mix1", 1.0)])
+    baseline = _document(1.0, [("bh", "mix1", 1.0)])
+    current["phase_breakdown"] = _phases(1.0, 4.0, 0.5)
+    baseline["phase_breakdown"] = _phases(1.0, 2.0, 0.5)
+    comparison = compare_benches(current, baseline)
+    by_phase = {p.phase: p for p in comparison.phases}
+    assert by_phase["access_path"].ratio == pytest.approx(2.0)
+    assert by_phase["trace_replay_est"].ratio == pytest.approx(1.0)
+    assert by_phase["epoch_bookkeeping"].baseline_seconds == 0.5
+
+
+def test_compare_without_breakdowns_has_no_phase_rows():
+    comparison = compare_benches(
+        _document(1.0, [("bh", "mix1", 1.0)]),
+        _document(1.0, [("bh", "mix1", 1.0)]),
+    )
+    assert comparison.phases == []
+
+
+def _host(cpu_count=8, platform="Linux-x86_64"):
+    return {"platform": platform, "machine": "x86_64", "cpu_count": cpu_count}
+
+
+def test_compare_warns_on_host_mismatch():
+    current = _document(1.0, [("bh", "mix1", 1.0)])
+    baseline = _document(1.0, [("bh", "mix1", 1.0)])
+    current["host"] = _host(cpu_count=16)
+    baseline["host"] = _host(cpu_count=4)
+    comparison = compare_benches(current, baseline)
+    assert len(comparison.host_warnings) == 1
+    assert "cpu_count" in comparison.host_warnings[0]
+    # a warning, never a gate
+    assert comparison.ok
+
+
+def test_compare_same_host_no_warning():
+    current = _document(1.0, [("bh", "mix1", 1.0)])
+    baseline = _document(1.0, [("bh", "mix1", 1.0)])
+    current["host"] = _host()
+    baseline["host"] = _host()
+    assert compare_benches(current, baseline).host_warnings == []
+
+
+def test_run_bench_document_carries_host_metadata(bench_document):
+    host = bench_document["host"]
+    assert host["cpu_count"] >= 1
+    assert host["platform"]
+
+
+def test_cli_bench_prints_phase_deltas_and_host_warning(
+    bench_document, tmp_path, capsys
+):
+    from repro.cli import main
+
+    measured = bench_document["geomean_mcycles_per_s"]
+    baseline = _document(
+        measured, [("bh", "mix1", measured)], label="base"
+    )
+    baseline["phase_breakdown"] = _phases(1.0, 1.0, 1.0)
+    baseline["host"] = {"platform": "OtherOS", "machine": "arm64",
+                        "cpu_count": 1}
+    baseline_path = tmp_path / "BENCH_base.json"
+    baseline_path.write_text(json.dumps(baseline))
+    main([
+        "bench", "--scale", "smoke", "--policies", "bh", "--mixes", "mix1",
+        "--epochs", "0.5", "--warmup-epochs", "0.25",
+        "--out", str(tmp_path), "--label", "detail",
+        "--baseline", str(baseline_path), "--threshold", "0.99",
+    ])
+    out = capsys.readouterr().out
+    assert "phase breakdown (current vs baseline):" in out
+    assert "access_path" in out
+    assert "WARNING: host mismatch" in out

@@ -1,0 +1,238 @@
+"""Tests for the successive-halving design-space explorer."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import SMOKE
+from repro.explore import (
+    KILL_AFTER_ENV,
+    META_NAME,
+    DesignPoint,
+    Evaluation,
+    ExploreError,
+    ExploreKilled,
+    ExploreSettings,
+    ExploreSpace,
+    pareto_front,
+    run_explore,
+    rung_plan,
+)
+from repro.fsio.durable import unwrap_json
+from repro.metrics.record import RunRecord
+
+
+# ----------------------------------------------------------------------
+# Design space
+def test_default_space_exceeds_1000_points():
+    space = ExploreSpace.default()
+    assert len(space) >= 1000
+    keys = [p.key() for p in space.points]
+    assert len(set(keys)) == len(keys)  # no duplicate configurations
+
+
+def test_tiny_space_covers_every_policy_kind():
+    space = ExploreSpace.tiny()
+    policies = {p.policy for p in space.points}
+    assert {"bh", "bh_cp", "lhybrid", "tap", "ca", "ca_rwr",
+            "cp_sd", "cp_sd_th"} <= policies
+
+
+def test_design_point_roundtrips_through_json():
+    point = DesignPoint.of("cp_sd_th", th=4.0, tw=5.0,
+                           sram_ways=8, nvm_ways=8, cv=0.3)
+    assert DesignPoint.from_json(point.to_json()) == point
+
+
+def test_unknown_space_name_raises():
+    with pytest.raises(KeyError, match="tiny"):
+        ExploreSpace.by_name("tinny")
+
+
+# ----------------------------------------------------------------------
+# Scoring machinery
+def _ev(ipc, life):
+    return Evaluation(point=DesignPoint.of("bh"), mean_ipc=ipc,
+                      llc_hit_rate=0.5, nvm_write_rate=1.0,
+                      lifetime_seconds=life)
+
+
+def test_pareto_front_drops_dominated_points():
+    best_ipc = _ev(1.0, 10.0)
+    best_life = _ev(0.5, 100.0)
+    dominated = _ev(0.4, 5.0)
+    front = pareto_front([best_ipc, best_life, dominated])
+    assert best_ipc in front and best_life in front
+    assert dominated not in front
+
+
+def test_rung_plan_grows_fidelity():
+    plan = rung_plan(SMOKE, seed=0)
+    assert plan[0] == [("mix1", 0)]
+    assert set(plan[1]) == {("mix1", 0), ("mix4", 0)}
+    assert len(plan[-1]) == 2 * len(SMOKE.mixes)  # second seed
+
+
+def test_settings_reject_bad_values():
+    with pytest.raises(ExploreError):
+        ExploreSettings(eta=1)
+    with pytest.raises(ExploreError):
+        ExploreSettings(objective="fastest")
+    with pytest.raises(ExploreError):
+        ExploreSettings(confirm=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end on the tiny space (one exploration shared by the checks)
+@pytest.fixture(scope="module")
+def exploration(tmp_path_factory):
+    out = tmp_path_factory.mktemp("explore") / "run"
+    settings = ExploreSettings(space="tiny", confirm=4)
+    result = run_explore(SMOKE, out, settings)
+    return out, settings, result
+
+
+def test_explore_artifacts_are_checksummed_envelopes(exploration):
+    out, _settings, result = exploration
+    for name, schema in (
+        (META_NAME, "repro-explore-meta/1"),
+        ("rung_0.json", "repro-explore-rung/1"),
+        ("confirm.json", "repro-explore-confirm/1"),
+        ("frontier.json", "repro-explore-frontier/1"),
+    ):
+        payload = unwrap_json(json.loads((out / name).read_text()),
+                              schema=schema, path=out / name)
+        assert payload  # checksum + schema verified by unwrap_json
+
+
+def test_every_evaluation_is_a_valid_run_record(exploration):
+    out, _settings, _result = exploration
+    for name in ("rung_0.json", "rung_1.json", "rung_2.json",
+                 "confirm.json"):
+        payload = unwrap_json(json.loads((out / name).read_text()))
+        assert payload["evaluations"]
+        for evaluation in payload["evaluations"]:
+            for raw in evaluation["records"]:
+                RunRecord.from_json(raw)  # raises SchemaError if invalid
+    frontier = unwrap_json(json.loads((out / "frontier.json").read_text()))
+    summary = RunRecord.from_json(frontier["summary_record"])
+    assert summary.kind == "explore"
+    assert summary.metrics["explore.points_total"] == 12
+
+
+def test_confirm_tier_simulates_fewer_instructions(exploration):
+    _out, settings, result = exploration
+    assert len(result.confirmed) == settings.confirm
+    assert result.simulated_instructions > 0
+    assert result.instruction_speedup == pytest.approx(
+        result.n_points / settings.confirm)
+
+
+def test_frontier_points_are_non_dominated(exploration):
+    _out, _settings, result = exploration
+    assert result.frontier
+    for a in result.frontier:
+        assert not any(
+            b.mean_ipc >= a.mean_ipc
+            and b.lifetime_seconds >= a.lifetime_seconds
+            and (b.mean_ipc > a.mean_ipc
+                 or b.lifetime_seconds > a.lifetime_seconds)
+            for b in result.confirmed
+        )
+
+
+def test_explore_is_deterministic(exploration, tmp_path):
+    _out, settings, result = exploration
+    again = run_explore(SMOKE, tmp_path / "again", settings)
+    assert [e.point.key() for e in again.confirmed] == [
+        e.point.key() for e in result.confirmed]
+    assert [e.point.key() for e in again.frontier] == [
+        e.point.key() for e in result.frontier]
+    assert again.simulated_instructions == result.simulated_instructions
+
+
+def test_meta_mismatch_refuses_to_resume(exploration, tmp_path):
+    out, _settings, _result = exploration
+    other = ExploreSettings(space="tiny", confirm=4, objective="performance")
+    with pytest.raises(ExploreError, match="different exploration"):
+        run_explore(SMOKE, out, other, resume=True)
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume
+@pytest.mark.parametrize("stage", ["rung:0", "rung:1", "confirm"])
+def test_kill_then_resume_recovers(tmp_path, monkeypatch, stage):
+    out = tmp_path / "killed"
+    settings = ExploreSettings(space="tiny", confirm=4)
+    monkeypatch.setenv(KILL_AFTER_ENV, stage)
+    with pytest.raises(ExploreKilled):
+        run_explore(SMOKE, out, settings)
+    monkeypatch.delenv(KILL_AFTER_ENV)
+    # the artefact the kill followed is durably on disk
+    marker = "confirm.json" if stage == "confirm" else (
+        f"rung_{stage.split(':')[1]}.json")
+    assert (out / marker).exists()
+    assert not (out / "frontier.json").exists()
+
+    result = run_explore(SMOKE, out, settings, resume=True)
+    assert (out / "frontier.json").exists()
+    assert result.frontier
+    assert result.instruction_speedup == pytest.approx(
+        result.n_points / settings.confirm)
+
+
+def test_resume_reuses_completed_rungs(tmp_path, monkeypatch):
+    out = tmp_path / "resumable"
+    settings = ExploreSettings(space="tiny", confirm=4)
+    monkeypatch.setenv(KILL_AFTER_ENV, "rung:1")
+    with pytest.raises(ExploreKilled):
+        run_explore(SMOKE, out, settings)
+    monkeypatch.delenv(KILL_AFTER_ENV)
+
+    before = {p.name: p.stat().st_mtime_ns
+              for p in out.glob("rung_*.json")}
+    run_explore(SMOKE, out, settings, resume=True)
+    for name in ("rung_0.json", "rung_1.json"):
+        assert out.joinpath(name).stat().st_mtime_ns == before[name], (
+            f"{name} was rewritten on resume instead of being reused")
+
+
+def test_corrupt_rung_is_recomputed_not_trusted(tmp_path, monkeypatch):
+    out = tmp_path / "corrupt"
+    settings = ExploreSettings(space="tiny", confirm=4)
+    monkeypatch.setenv(KILL_AFTER_ENV, "rung:1")
+    with pytest.raises(ExploreKilled):
+        run_explore(SMOKE, out, settings)
+    monkeypatch.delenv(KILL_AFTER_ENV)
+
+    victim = out / "rung_1.json"
+    victim.write_text(victim.read_text()[:-40])  # truncate the envelope
+    result = run_explore(SMOKE, out, settings, resume=True)
+    assert result.frontier
+    # the corrupt checkpoint was rewritten as a valid envelope
+    unwrap_json(json.loads(victim.read_text()), path=victim)
+
+
+# ----------------------------------------------------------------------
+# Doctor integration
+def test_doctor_audits_explore_directories(exploration):
+    from repro.fsio.doctor import run_doctor
+
+    out, _settings, _result = exploration
+    report = run_doctor([out])
+    assert report.ok
+    assert any("frontier.json" in c for c in report.checked)
+
+
+def test_doctor_flags_missing_rung_and_corrupt_record(tmp_path, monkeypatch):
+    from repro.fsio.doctor import run_doctor
+
+    out = tmp_path / "damaged"
+    settings = ExploreSettings(space="tiny", confirm=4)
+    run_explore(SMOKE, out, settings)
+    (out / "rung_0.json").unlink()
+
+    report = run_doctor([out])
+    assert not report.ok
+    taxonomy = report.taxonomy()
+    assert taxonomy.get("explore-rung/missing-artefact") == 1
