@@ -3,7 +3,7 @@
 #
 # Usage: scripts/ci.sh
 #   [--skip-tests|--skip-bench|--skip-memo|--skip-schema|--skip-durability|
-#    --skip-backend|--skip-analytical]
+#    --skip-backend|--skip-analytical|--skip-service]
 #
 # The bench leg runs a *reduced* matrix (3 policies x 1 mix, smoke
 # scale, best-of-3) against the committed full-matrix baseline —
@@ -22,6 +22,7 @@ RUN_SCHEMA=1
 RUN_DURABILITY=1
 RUN_BACKEND=1
 RUN_ANALYTICAL=1
+RUN_SERVICE=1
 for arg in "$@"; do
   case "$arg" in
     --skip-tests) RUN_TESTS=0 ;;
@@ -31,6 +32,7 @@ for arg in "$@"; do
     --skip-durability) RUN_DURABILITY=0 ;;
     --skip-backend) RUN_BACKEND=0 ;;
     --skip-analytical) RUN_ANALYTICAL=0 ;;
+    --skip-service) RUN_SERVICE=0 ;;
     *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -174,6 +176,94 @@ if [[ "$RUN_ANALYTICAL" == 1 ]]; then
     exit 1
   fi
   python -m repro doctor --strict "$EXPLORE_OUT/run"
+fi
+
+if [[ "$RUN_SERVICE" == 1 ]]; then
+  echo "== ci: service mode (2 shards, mid-flight shard kill) =="
+  # A two-subprocess-shard service executes a tiny submitted grid while
+  # one shard is rigged to die mid-task.  The job must finish with zero
+  # unit loss (the dead shard's work requeues to the survivor), the
+  # merged results must be byte-identical to an unsharded reference
+  # run, a post-restart resume must serve every unit from the durable
+  # manifest, and the whole service root must pass a strict audit.
+  SERVICE_OUT="$(mktemp -d)"
+  trap 'rm -rf "${BENCH_OUT:-}" "${BACKEND_OUT:-}" "${MEMO_OUT:-}" "${DURA_OUT:-}" "${EXPLORE_OUT:-}" "$SERVICE_OUT"' EXIT
+  python - "$SERVICE_OUT" <<'PY'
+import hashlib
+import sys
+from pathlib import Path
+
+from repro.harness import CampaignSettings, run_campaign
+from repro.service.client import ServiceClient
+from repro.service.server import DONE, ServiceServer
+from repro.service.shard import KILL_AT_ENV, LocalShardSet
+
+root = Path(sys.argv[1])
+
+
+def digest(directory):
+    h = hashlib.sha256()
+    results = sorted((directory / "results").glob("*.json"))
+    for path in results:
+        h.update(path.name.encode())
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    return h.hexdigest(), len(results)
+
+
+# Unsharded reference run of the same grid.
+report = run_campaign(
+    root / "reference",
+    scale="smoke",
+    experiments=("tables",),
+    settings=CampaignSettings(jobs=1, retries=0),
+)
+assert report.ok, "reference run failed"
+ref_digest, ref_count = digest(root / "reference")
+
+# Shard 1 exits mid-flight: right after announcing its second unit.
+with LocalShardSet(
+    2, root / "fleet", extra_env=[None, {KILL_AT_ENV: "start:2"}]
+) as fleet:
+    server = ServiceServer(root / "service", shards=fleet.endpoints)
+    server.start()
+    try:
+        client = ServiceClient(server.endpoint)
+        job_id = client.submit(experiments=["tables"], scale="smoke")
+        record = client.watch(job_id, timeout=600.0)
+    finally:
+        server.stop()
+assert record["status"] == DONE, record
+job_report = record["report"]
+assert job_report["failed"] == 0, job_report
+assert job_report["shard_deaths"] == 1, job_report
+job_dir = root / "service" / "jobs" / job_id / "campaign"
+job_digest, job_count = digest(job_dir)
+assert (job_count, job_digest) == (ref_count, ref_digest), (
+    "sharded results diverged from the single-pool reference"
+)
+
+# A fresh server over the same root resumes the job: every unit is
+# served from the durable campaign manifest, nothing recomputes.
+server = ServiceServer(root / "service")
+server.start()
+try:
+    client = ServiceClient(server.endpoint)
+    client.resume(job_id)
+    record = client.watch(job_id, timeout=600.0)
+finally:
+    server.stop()
+assert record["status"] == DONE, record
+assert record["report"]["skipped"] == job_report["total"], record["report"]
+assert record["report"]["completed"] == 0, record["report"]
+print(
+    f"service job {job_id}: {job_report['completed']} units, "
+    f"{job_report['shard_deaths']} shard death, byte-identical to "
+    "reference, resume served all units from the manifest"
+)
+PY
+  python -m repro doctor --strict "$SERVICE_OUT/service"
 fi
 
 echo "== ci: OK =="

@@ -1,0 +1,313 @@
+"""Service-mode benchmark: ``python -m repro bench --service``.
+
+Measures what the sharded dispatcher delivers over real subprocess
+shards on this host, with correctness gated before any number is
+recorded:
+
+* **byte identity** — every sharded run's ``results/`` directory must
+  hash identically to the single-pool reference run's.  This gate is
+  unconditional: a fast wrong answer is not a benchmark result;
+* **scaling** — one ``bench_cells`` campaign per fleet size from one
+  shard up to ``max_shards``; ``speedup`` is wall(1 shard) /
+  wall(N shards);
+* **the floor** — the service contract is near-linear scaling with a
+  hard ``>= 1.8x at 2 shards`` floor.  The floor is *enforced* only
+  when the host can physically exhibit it (``cpu_count >= 2``); on a
+  single-core host the document is stamped ``degenerate_single_core``
+  and the floor is recorded as unenforced rather than faked.  The
+  same honesty applies when a committed ``BENCH_service.json`` is
+  gated later: :func:`service_floor_errors` re-reads the stamp.
+
+All runs (pool reference and every fleet) share one pre-warmed
+on-disk trace cache, so the comparison isolates dispatch mode, not
+trace-generation luck.  Shard workers are spawned subprocesses and
+inherit the cache via the environment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..experiments.bench_cells import (
+    BENCH_CELL_EPOCHS,
+    BENCH_CELL_MIXES,
+    BENCH_CELL_WARMUP_EPOCHS,
+)
+from ..experiments.common import ExperimentScale
+from .runner import BENCH_SCHEMA, _host_metadata
+
+#: The service contract: two shards must beat one by at least this
+#: factor on a host with two or more cores.
+SERVICE_SPEEDUP_FLOOR = 1.8
+#: Fleet size the floor is defined at.
+FLOOR_SHARDS = 2
+
+
+class ServiceBenchError(RuntimeError):
+    """A correctness or contract failure during the service bench."""
+
+
+def _results_digest(directory: Path) -> str:
+    """One hex digest over the bytes of every result file.
+
+    Filename-keyed and order-independent: two campaign directories
+    digest equal iff their ``results/`` trees are byte-identical.
+    """
+    digest = hashlib.sha256()
+    for path in sorted((Path(directory) / "results").glob("*.json")):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _run_campaign(directory: Path, scale_name: str, settings) -> Dict:
+    from ..harness import run_campaign
+
+    start = time.perf_counter()
+    report = run_campaign(
+        directory,
+        scale=scale_name,
+        experiments=("bench_cells",),
+        settings=settings,
+    )
+    wall = time.perf_counter() - start
+    if not report.ok:
+        kinds = [f.failures[-1].kind for f in report.failed if f.failures]
+        raise ServiceBenchError(
+            f"campaign at {directory} did not complete: "
+            f"{len(report.failed)} failed {kinds}"
+        )
+    return {
+        "tasks": report.completed,
+        "wall_seconds": wall,
+        "tasks_per_s": report.completed / wall if wall > 0 else 0.0,
+        "shard_walls": dict(sorted(report.shard_walls.items())),
+        "shard_deaths": report.shard_deaths,
+    }
+
+
+def run_service_bench(
+    scale: ExperimentScale,
+    label: str = "service",
+    max_shards: int = FLOOR_SHARDS,
+    task_timeout: float = 600.0,
+    progress=None,
+) -> dict:
+    """Run the service scaling matrix; return the result document.
+
+    Raises :class:`ServiceBenchError` on any byte-identity divergence,
+    and on a floor violation when the floor is enforceable here.
+    """
+    from ..harness import CampaignSettings
+    from ..service.shard import LocalShardSet
+    from ..workloads.cache import SHARED_WORKLOAD_CACHE, TRACE_CACHE_ENV
+
+    say = progress or (lambda message: None)
+    if max_shards < 1:
+        raise ValueError("--max-shards must be >= 1")
+
+    cpu_count = os.cpu_count() or 1
+    previous_cache = os.environ.get(TRACE_CACHE_ENV)
+    runs: List[Dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-svcbench-") as tmp:
+        root = Path(tmp)
+        os.environ[TRACE_CACHE_ENV] = str(root / "trace_cache")
+        try:
+            say("pre-warming trace cache ...")
+            for mix in scale.mixes[:BENCH_CELL_MIXES]:
+                scale.workload(mix, seed=0)
+            SHARED_WORKLOAD_CACHE.clear()
+
+            say("single-pool reference campaign ...")
+            reference = _run_campaign(
+                root / "reference",
+                scale.name,
+                CampaignSettings(
+                    jobs=1, task_timeout=task_timeout, retries=0
+                ),
+            )
+            reference_digest = _results_digest(root / "reference")
+            say(
+                f"  {reference['tasks']} tasks in "
+                f"{reference['wall_seconds']:.2f}s "
+                f"(digest {reference_digest[:12]})"
+            )
+
+            for shards in range(1, max_shards + 1):
+                say(f"sharded campaign, {shards} shard(s) ...")
+                with LocalShardSet(shards, root / f"fleet-{shards}") as fleet:
+                    run = _run_campaign(
+                        root / f"sharded-{shards}",
+                        scale.name,
+                        CampaignSettings(
+                            task_timeout=task_timeout,
+                            retries=0,
+                            shards=fleet.endpoints,
+                        ),
+                    )
+                run["shards"] = shards
+                digest = _results_digest(root / f"sharded-{shards}")
+                if digest != reference_digest:
+                    raise ServiceBenchError(
+                        f"sharded run ({shards} shards) results are NOT "
+                        f"byte-identical to the single-pool reference "
+                        f"({digest[:12]} vs {reference_digest[:12]})"
+                    )
+                run["results_digest"] = digest
+                runs.append(run)
+                say(
+                    f"  {run['tasks']} tasks in {run['wall_seconds']:.2f}s "
+                    f"({run['tasks_per_s']:.2f} tasks/s, byte-identical)"
+                )
+        finally:
+            if previous_cache is None:
+                os.environ.pop(TRACE_CACHE_ENV, None)
+            else:
+                os.environ[TRACE_CACHE_ENV] = previous_cache
+
+    base = runs[0]
+    scaling = []
+    for run in runs:
+        speedup = (
+            base["wall_seconds"] / run["wall_seconds"]
+            if run["wall_seconds"] > 0 else 0.0
+        )
+        scaling.append(
+            {
+                "shards": run["shards"],
+                "wall_seconds": run["wall_seconds"],
+                "speedup": speedup,
+                "efficiency": speedup / run["shards"],
+            }
+        )
+        say(
+            f"shards={run['shards']}: speedup {speedup:.2f}x, "
+            f"efficiency {speedup / run['shards']:.2f}"
+        )
+
+    floor = _floor_section(scaling, cpu_count)
+    if floor["enforced"] and floor["measured_speedup"] < floor["min_speedup"]:
+        raise ServiceBenchError(
+            f"scaling floor violated: {floor['measured_speedup']:.2f}x at "
+            f"{FLOOR_SHARDS} shards, contract requires >= "
+            f"{floor['min_speedup']:.1f}x on a {cpu_count}-core host"
+        )
+    if not floor["enforced"] and floor["degenerate_single_core"]:
+        say(
+            f"single-core host: {FLOOR_SHARDS}-shard floor recorded as "
+            "unenforced (degenerate_single_core)"
+        )
+
+    units = base["tasks"]
+    cycles_per_unit = scale.epoch_cycles * (
+        BENCH_CELL_WARMUP_EPOCHS + BENCH_CELL_EPOCHS
+    )
+    simulated_cycles = float(units * cycles_per_unit)
+
+    def rate(seconds: float) -> float:
+        return simulated_cycles / 1e6 / seconds if seconds > 0 else 0.0
+
+    # Cases shaped like the engine bench's (policy/mix/mcycles_per_s)
+    # so compare_benches can gate a fresh run against the committed
+    # baseline per fleet size.
+    cases = [
+        {
+            "policy": "service",
+            "mix": "single_pool",
+            "seconds": reference["wall_seconds"],
+            "mcycles_per_s": rate(reference["wall_seconds"]),
+        }
+    ]
+    for run in runs:
+        cases.append(
+            {
+                "policy": "service",
+                "mix": f"shards{run['shards']}",
+                "seconds": run["wall_seconds"],
+                "mcycles_per_s": rate(run["wall_seconds"]),
+            }
+        )
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "created_unix": time.time(),
+        "host": _host_metadata(),
+        "scale": scale.name,
+        "cases": cases,
+        "service": {
+            "max_shards": max_shards,
+            "reference": dict(reference),
+            "runs": runs,
+            "scaling": scaling,
+            "results_digest": reference_digest,
+            "byte_identical": True,
+            "floor": floor,
+        },
+    }
+
+
+def _floor_section(scaling: List[Dict], cpu_count: int) -> Dict:
+    """The floor verdict recorded into (and re-read from) the document."""
+    measured = 0.0
+    have_floor_point = False
+    for row in scaling:
+        if row["shards"] == FLOOR_SHARDS:
+            measured = row["speedup"]
+            have_floor_point = True
+    multi_core = cpu_count >= FLOOR_SHARDS
+    return {
+        "min_speedup": SERVICE_SPEEDUP_FLOOR,
+        "at_shards": FLOOR_SHARDS,
+        "measured_speedup": measured,
+        "cpu_count": cpu_count,
+        # A 1-core host cannot run two shards concurrently, so the
+        # floor is physically unreachable there; recording it as
+        # unenforced-and-stamped beats recording a fake pass.
+        "degenerate_single_core": not multi_core,
+        "enforced": multi_core and have_floor_point,
+    }
+
+
+def service_floor_errors(document: dict) -> List[str]:
+    """Gate a (possibly committed) service document's scaling floor.
+
+    Used by ``repro bench --service --baseline`` and CI: re-checks the
+    floor recorded in the document, honouring the
+    ``degenerate_single_core`` stamp so a single-core measurement
+    neither fails the gate nor silently masquerades as a pass.
+    """
+    service = document.get("service")
+    if not isinstance(service, dict):
+        return ["document has no 'service' section to gate"]
+    floor = service.get("floor") or {}
+    errors: List[str] = []
+    if not service.get("byte_identical"):
+        errors.append(
+            "service document does not attest byte-identical sharded "
+            "results"
+        )
+    if floor.get("degenerate_single_core"):
+        return errors  # stamped honest; nothing to enforce
+    if not floor.get("enforced"):
+        errors.append(
+            "floor was not enforced and the document is not stamped "
+            "degenerate_single_core"
+        )
+        return errors
+    measured = float(floor.get("measured_speedup", 0.0))
+    minimum = float(floor.get("min_speedup", SERVICE_SPEEDUP_FLOOR))
+    if measured < minimum:
+        errors.append(
+            f"scaling floor violated: {measured:.2f}x at "
+            f"{floor.get('at_shards', FLOOR_SHARDS)} shards "
+            f"(contract >= {minimum:.1f}x)"
+        )
+    return errors

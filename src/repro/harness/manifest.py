@@ -95,6 +95,10 @@ class CampaignManifest:
     experiments: Tuple[str, ...]
     chaos: Optional[dict] = None       # last run's chaos settings (info only)
     backend: Optional[str] = None      # engine backend workers run under
+    #: Last sharded run's fleet summary (per-shard wall clock, deaths)
+    #: — mirrored from ``shards.json`` so ``repro status`` reads one
+    #: file.  ``None`` for campaigns that never ran sharded.
+    shards: Optional[dict] = None
     tasks: Dict[str, TaskEntry] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -185,6 +189,7 @@ class CampaignManifest:
             experiments=tuple(data["experiments"]),
             chaos=data.get("chaos"),
             backend=data.get("backend"),
+            shards=data.get("shards"),
             tasks={
                 task_id: TaskEntry.from_json(entry)
                 for task_id, entry in data.get("tasks", {}).items()
@@ -249,22 +254,23 @@ class CampaignManifest:
         return manifest
 
     def save(self) -> None:
-        write_json_atomic(
-            self.path,
-            {
-                "format": MANIFEST_FORMAT,
-                "library": library_info(),
-                "scale": self.scale,
-                "experiments": list(self.experiments),
-                "chaos": self.chaos,
-                "backend": self.backend,
-                "tasks": {
-                    task_id: entry.to_json()
-                    for task_id, entry in sorted(self.tasks.items())
-                },
+        document = {
+            "format": MANIFEST_FORMAT,
+            "library": library_info(),
+            "scale": self.scale,
+            "experiments": list(self.experiments),
+            "chaos": self.chaos,
+            "backend": self.backend,
+            "tasks": {
+                task_id: entry.to_json()
+                for task_id, entry in sorted(self.tasks.items())
             },
-            schema=MANIFEST_FORMAT,
-        )
+        }
+        # Only sharded campaigns carry a fleet summary; omitting the
+        # key keeps never-sharded manifests byte-identical to PR 6's.
+        if self.shards is not None:
+            document["shards"] = self.shards
+        write_json_atomic(self.path, document, schema=MANIFEST_FORMAT)
 
     # ------------------------------------------------------------------
     def entry(self, task_id: str) -> TaskEntry:

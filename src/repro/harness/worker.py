@@ -23,6 +23,12 @@ The attempt contract in both modes:
 * anything else — a crash, a kill, a hang — is the scheduler's
   problem to detect from the outside.
 
+Shard processes (``repro serve-worker``, :mod:`repro.service.shard`)
+are a third caller of the same contract: they execute
+:func:`run_attempt` on payloads received over a socket instead of a
+pipe, which is why sharded campaigns inherit every chaos and
+durability guarantee the local modes prove.
+
 Pool workers speak a tiny message protocol over their pipe:
 ``("run", [payload_json, ...])`` and ``("exit",)`` inbound;
 ``("start", task_id, monotonic)`` — the heartbeat that arms the
@@ -91,7 +97,7 @@ def build_payload(
     )
 
 
-def _run_attempt(payload: dict) -> bool:
+def run_attempt(payload: dict) -> bool:
     """Apply this attempt's (deterministic) injected fault, then run it.
 
     Task-level chaos kinds act here (crash/timeout die, corrupt plants
@@ -201,7 +207,7 @@ def worker_entry(payload_json: str) -> None:
     ``fork`` and ``spawn`` multiprocessing start methods.
     """
     payload = json.loads(payload_json)
-    os._exit(0 if _run_attempt(payload) else 1)
+    os._exit(0 if run_attempt(payload) else 1)
 
 
 def pool_worker_entry(conn) -> None:
@@ -229,7 +235,7 @@ def pool_worker_entry(conn) -> None:
                 conn.send(("start", payload["task_id"], started))
             except (BrokenPipeError, OSError):
                 return
-            ok = _run_attempt(payload)
+            ok = run_attempt(payload)
             elapsed = time.monotonic() - started
             try:
                 conn.send(

@@ -56,6 +56,8 @@ def _ensure_registrations() -> None:
     from ..experiments import compressibility as _fig2  # noqa: F401
     from ..experiments import lifetime as _lifetime  # noqa: F401
     from ..explore import explorer as _explorer  # noqa: F401
+    from ..fsio import health as _storage_health  # noqa: F401
+    from ..harness import scheduler as _scheduler  # noqa: F401
 
 
 def _record_from_payload(data: Any, source: str) -> RunRecord:
@@ -116,6 +118,14 @@ def _records_from_campaign(directory: Path) -> List[RunRecord]:
                 record.meta.setdefault("result_sha256", entry.sha256)
             record.meta.setdefault("campaign_scale", manifest.scale)
             records.append(record)
+    # The campaign health record (scheduler.* / storage.* counters plus
+    # per-shard wall clocks) rides along when present, so the file
+    # exporter and the service's /metrics endpoint read the same spine.
+    from ..harness.scheduler import HEALTH_RECORD_NAME
+
+    health_path = directory / HEALTH_RECORD_NAME
+    if health_path.exists():
+        records.extend(_records_from_file(health_path))
     if not records:
         raise ExportError(f"{directory}: campaign has no completed results")
     return records
@@ -281,16 +291,16 @@ def check_artifacts(
         for record in records:
             if record.kind == "bench":
                 # Matrix benches carry "cases"; the parallel-scaling
-                # bench carries "scaling"; the memo and explorer
-                # benches carry their namesake sections — each must
-                # keep its schema-tagged document for the consumers
-                # (``compare``, the speedup gates) to read.
+                # bench carries "scaling"; the memo, explorer and
+                # service benches carry their namesake sections — each
+                # must keep its schema-tagged document for the
+                # consumers (``compare``, the speedup gates) to read.
                 document = record.values.get("document")
                 if (
                     not isinstance(document, dict)
                     or "schema" not in document
-                    or not ({"cases", "scaling", "memo", "explore"}
-                            & set(document))
+                    or not ({"cases", "scaling", "memo", "explore",
+                             "service"} & set(document))
                 ):
                     errors.append(
                         f"{path}: bench record has no embedded document"
@@ -342,6 +352,24 @@ def _registry_drift_errors(registry: MetricRegistry = REGISTRY) -> List[str]:
         if not hasattr(energy, spec.source_attr):
             errors.append(
                 f"registry drift: EnergyBreakdown has no {spec.source_attr!r}"
+            )
+    # The campaign health record is built by collect()ing these two
+    # layers straight off their producing objects, so a renamed field
+    # there must show up here, not as a silent zero in /metrics.
+    from ..fsio.health import StorageHealth
+    from ..harness.scheduler import CampaignReport
+
+    report = CampaignReport(total=0)
+    for spec in registry.by_layer("scheduler"):
+        if not hasattr(report, spec.source_attr):
+            errors.append(
+                f"registry drift: CampaignReport has no {spec.source_attr!r}"
+            )
+    storage = StorageHealth()
+    for spec in registry.by_layer("storage"):
+        if not hasattr(storage, spec.source_attr):
+            errors.append(
+                f"registry drift: StorageHealth has no {spec.source_attr!r}"
             )
     for spec in registry:
         if spec.unit == "" or spec.doc == "":

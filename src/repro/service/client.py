@@ -1,0 +1,169 @@
+"""The service client behind ``repro submit`` / ``status`` / ``watch``.
+
+One request, one connection: every call dials the server, sends one
+JSON-line request and reads the response(s).  That keeps the client
+trivially robust — there is no session state to lose — and matches the
+server's thread-per-connection model.  ``watch`` is the only streaming
+call: the server holds the connection open and pushes ``event`` lines
+until the job reaches a terminal state.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..fsio.durable import read_bytes, unwrap_json
+from .protocol import LineReader, ProtocolError, recv_message, send_message
+from .shard import ANNOUNCE_SCHEMA, parse_endpoint
+
+PathLike = Union[str, Path]
+
+
+class ServiceError(RuntimeError):
+    """The server refused a request or the connection failed."""
+
+
+def resolve_endpoint(spec: str) -> str:
+    """Accept ``host:port`` or a path to a service announce file."""
+    path = Path(spec)
+    if path.exists():
+        document = json.loads(read_bytes(path).decode("utf-8"))
+        record = unwrap_json(document, schema=ANNOUNCE_SCHEMA, path=path)
+        return f"{record['host']}:{record['port']}"
+    parse_endpoint(spec)  # raises ValueError on a malformed spec
+    return spec
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(self, endpoint: str, timeout: float = 30.0):
+        self.host, self.port = parse_endpoint(resolve_endpoint(endpoint))
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _dial(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from None
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        return sock
+
+    def _read(self, reader: LineReader, timeout: Optional[float]) -> dict:
+        try:
+            response = recv_message(reader, timeout=timeout)
+        except ProtocolError as exc:
+            raise ServiceError(f"service spoke garbage: {exc}") from None
+        if response is None:
+            raise ServiceError("service closed the connection mid-request")
+        if response.get("type") == "error":
+            raise ServiceError(response.get("detail") or "request refused")
+        return response
+
+    def _request(self, message: dict, expect: str) -> dict:
+        sock = self._dial()
+        try:
+            send_message(sock, message)
+            response = self._read(LineReader(sock), self.timeout)
+        except OSError as exc:
+            raise ServiceError(f"request failed: {exc}") from None
+        finally:
+            sock.close()
+        if response.get("type") != expect:
+            raise ServiceError(
+                f"unexpected response {response.get('type')!r} "
+                f"(wanted {expect!r})"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        experiments: Sequence[str] = ("tables",),
+        scale: str = "smoke",
+        chaos: Optional[str] = None,
+    ) -> str:
+        """Enqueue a sweep; returns the job id immediately (async)."""
+        response = self._request(
+            {
+                "type": "submit",
+                "experiments": list(experiments),
+                "scale": scale,
+                "chaos": chaos,
+            },
+            expect="submitted",
+        )
+        return response["job_id"]
+
+    def resume(self, job_id: str) -> str:
+        """Re-queue a finished/failed job (completed units are skipped)."""
+        response = self._request(
+            {"type": "resume", "job_id": job_id}, expect="submitted"
+        )
+        return response["job_id"]
+
+    def status(self, job_id: Optional[str] = None):
+        """One job record, or every job when ``job_id`` is omitted."""
+        if job_id:
+            return self._request(
+                {"type": "status", "job_id": job_id}, expect="job"
+            )["job"]
+        return self._request({"type": "status"}, expect="jobs")["jobs"]
+
+    def metrics(self) -> str:
+        """The Prometheus exposition body, over the JSON protocol."""
+        return self._request({"type": "metrics"}, expect="metrics")["body"]
+
+    def shutdown(self) -> None:
+        self._request({"type": "shutdown"}, expect="bye")
+
+    def watch(
+        self,
+        job_id: str,
+        on_event: Optional[Callable[[dict], None]] = None,
+        from_seq: int = 0,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Stream a job's events until it finishes; returns the record.
+
+        ``on_event`` receives each event dict as it arrives.  The
+        optional ``timeout`` bounds the wait for *each* event, not the
+        whole watch — a healthy long job keeps the stream alive with
+        its per-unit progress.
+        """
+        sock = self._dial()
+        events_seen: List[dict] = []
+        try:
+            send_message(
+                sock,
+                {"type": "watch", "job_id": job_id, "from_seq": from_seq},
+            )
+            reader = LineReader(sock)
+            while True:
+                response = self._read(reader, timeout or self.timeout)
+                if response.get("type") == "event":
+                    event = response.get("data") or {}
+                    events_seen.append(event)
+                    if on_event is not None:
+                        on_event(event)
+                    continue
+                if response.get("type") == "watched":
+                    job = response["job"]
+                    job["events_streamed"] = len(events_seen)
+                    return job
+                raise ServiceError(
+                    f"unexpected watch frame {response.get('type')!r}"
+                )
+        except OSError as exc:
+            raise ServiceError(f"watch failed: {exc}") from None
+        finally:
+            sock.close()

@@ -1,0 +1,154 @@
+"""The service event log: checksummed JSONL, crash-consistent appends.
+
+Per-unit campaign progress (``unit_start`` / ``unit_done`` /
+``unit_retry`` / ``unit_failed`` / ``unit_cached``), shard lifecycle
+(``shard_up`` / ``shard_dead``) and job lifecycle (``job_submitted`` /
+``job_done``) all land here, one line per event, and stream verbatim
+to ``repro watch`` clients.
+
+Each line is its *own* ``repro-blob/1`` envelope (schema
+``repro-service-event/1``) in canonical compact JSON — so the existing
+:func:`~repro.fsio.durable.unwrap_json` machinery validates every line
+independently, and the file as a whole needs no rewrite-on-append.
+The durability contract is the checkpoint tail-truncation story: an
+append interrupted by a crash can tear only the *final* line, which
+readers (and ``repro doctor``) treat as a survivable artefact of the
+crash; a bad line anywhere *else* is real corruption and an error.
+
+Events are stamped with a monotonically increasing ``seq`` and a wall
+timestamp.  Telemetry only — nothing in the zero-loss or byte-identity
+guarantees depends on this file existing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..fsio.durable import (
+    BlobError,
+    is_blob_payload,
+    read_bytes,
+    unwrap_json,
+    wrap_json,
+)
+from ..manifest import canonical_json
+
+PathLike = Union[str, Path]
+
+EVENT_SCHEMA = "repro-service-event/1"
+EVENT_LOG_NAME = "events.jsonl"
+
+
+class EventLogError(ValueError):
+    """A non-tail event-log line failed to parse or validate."""
+
+
+class EventLog:
+    """Append-only, thread-safe, per-line enveloped event sink."""
+
+    def __init__(self, path: PathLike, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "ab")
+        # Continue the sequence across reopens (job resume).
+        self._seq = _last_seq(self.path) + 1
+
+    def append(self, event: dict) -> dict:
+        """Stamp, wrap, and durably append one event; returns it."""
+        with self._lock:
+            stamped = dict(event)
+            stamped["seq"] = self._seq
+            stamped["ts"] = round(time.time(), 6)
+            self._seq += 1
+            line = canonical_json(wrap_json(stamped, EVENT_SCHEMA))
+            self._fh.write(line.encode("utf-8") + b"\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            return stamped
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _last_seq(path: Path) -> int:
+    try:
+        events = read_events(path)
+    except (OSError, EventLogError):
+        return -1
+    if not events:
+        return -1
+    return max(int(e.get("seq", -1)) for e in events)
+
+
+def read_events(
+    path: PathLike, strict: bool = False
+) -> List[dict]:
+    """Every validated event in the log, in append order.
+
+    A defective *final* line is the expected debris of a crash
+    mid-append and is dropped (unless ``strict``); a defective line
+    anywhere else means the log was corrupted after the fact and
+    raises :class:`EventLogError`.
+    """
+    events, tail_defect = scan_events(path)
+    if tail_defect is not None and strict:
+        raise EventLogError(tail_defect)
+    return events
+
+
+def scan_events(path: PathLike) -> Tuple[List[dict], Optional[str]]:
+    """Parse the log; returns ``(events, tail_defect_or_None)``.
+
+    The doctor's entry point: it wants the events *and* the evidence.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], None
+    lines = read_bytes(path).split(b"\n")
+    # A well-formed log ends with a newline, leaving one empty tail.
+    if lines and lines[-1] == b"":
+        lines.pop()
+    events: List[dict] = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        defect: Optional[str] = None
+        try:
+            document = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            defect = f"unparsable line ({exc})"
+        else:
+            if not is_blob_payload(document):
+                defect = "line is not a repro-blob envelope"
+            else:
+                try:
+                    payload = unwrap_json(
+                        document, schema=EVENT_SCHEMA, path=path
+                    )
+                except BlobError as exc:
+                    defect = exc.reason
+        if defect is not None:
+            message = f"{path}: event line {index + 1}: {defect}"
+            if index == len(lines) - 1:
+                return events, message  # survivable torn tail
+            raise EventLogError(message)
+        events.append(payload)
+    return events, None

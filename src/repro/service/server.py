@@ -1,0 +1,597 @@
+"""``repro serve``: the standing campaign service.
+
+One server owns one **service root** directory and any number of
+clients: ``repro submit`` enqueues a sweep as a *job*, ``repro
+status`` inspects the ledger, ``repro watch`` streams the job's event
+log live, and Prometheus scrapes ``/metrics`` from the same TCP port
+(the listener sniffs the first bytes of each connection — an HTTP
+``GET`` gets an HTTP response, everything else speaks the service's
+JSON-line protocol).
+
+Service root layout::
+
+    service.announce.json        # endpoint + pid (repro-shard-announce/1)
+    ledger.json                  # all jobs (repro-service-ledger/1)
+    result_cache/                # shared memo cache, consulted per job
+    jobs/<job-id>/
+        job.json                 # this job's record (repro-service-job/1)
+        events.jsonl             # per-line enveloped event stream
+        campaign/                # a normal campaign directory
+
+Each job *is* a campaign: the server enumerates its units through
+:class:`~repro.harness.scheduler.CampaignRunner`, which consults the
+shared fsio-backed result cache before dispatching anything, and every
+unit lifecycle transition is appended to the job's event log (the
+scheduler's ``event_sink`` tap) and fanned out to attached watchers.
+
+Jobs execute strictly one at a time on the executor thread — the
+parallelism axis is *within* a job (the worker pool or the shard
+fleet), not across jobs, so two submitted sweeps never fight for the
+same cores.  Every artefact the server writes is a checksummed
+``repro.fsio`` envelope audited by ``repro doctor``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..experiments.campaign_tasks import ALL_EXPERIMENT_NAMES
+from ..fsio.durable import BlobError, read_bytes, unwrap_json, write_blob_json
+from .events import EVENT_LOG_NAME, EventLog, read_events
+from .protocol import LineReader, ProtocolError, send_message
+from .shard import write_announce
+
+PathLike = Union[str, Path]
+
+JOB_SCHEMA = "repro-service-job/1"
+LEDGER_SCHEMA = "repro-service-ledger/1"
+LEDGER_NAME = "ledger.json"
+JOBS_DIR = "jobs"
+ANNOUNCE_NAME = "service.announce.json"
+CAMPAIGN_SUBDIR = "campaign"
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+
+class ServiceServer:
+    """The standing service: listener + executor over one root."""
+
+    def __init__(
+        self,
+        root: PathLike,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.root = Path(root)
+        self.host = host
+        self.port = port
+        self.shards = list(shards) if shards else None
+        self.jobs = jobs
+        self.progress = progress or (lambda message: None)
+
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / JOBS_DIR).mkdir(exist_ok=True)
+
+        self._lock = threading.Lock()
+        self._events = threading.Condition(self._lock)
+        self._ledger: Dict[str, dict] = self._load_ledger()
+        self._queue: List[str] = [
+            job_id
+            for job_id, record in sorted(self._ledger.items())
+            if record["status"] == QUEUED
+        ]
+        # Jobs the server died while running re-queue (resume picks up
+        # the completed units from the campaign manifest).
+        for job_id, record in sorted(self._ledger.items()):
+            if record["status"] == RUNNING:
+                record["status"] = QUEUED
+                self._queue.append(job_id)
+        #: In-memory event buffers watchers replay from; rebuilt from
+        #: the on-disk logs at startup so watch-after-restart works.
+        self._buffers: Dict[str, List[dict]] = {}
+        self._stop = threading.Event()
+        self._sock: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # ledger persistence
+    def _ledger_path(self) -> Path:
+        return self.root / LEDGER_NAME
+
+    def _load_ledger(self) -> Dict[str, dict]:
+        path = self._ledger_path()
+        if not path.exists():
+            return {}
+        document = json.loads(read_bytes(path).decode("utf-8"))
+        payload = unwrap_json(document, schema=LEDGER_SCHEMA, path=path)
+        return dict(payload.get("jobs", {}))
+
+    def _save_ledger_locked(self) -> None:
+        write_blob_json(
+            self._ledger_path(),
+            {"jobs": {k: self._ledger[k] for k in sorted(self._ledger)}},
+            schema=LEDGER_SCHEMA,
+        )
+
+    def _job_dir(self, job_id: str) -> Path:
+        return self.root / JOBS_DIR / job_id
+
+    def _save_job_locked(self, job_id: str) -> None:
+        write_blob_json(
+            self._job_dir(job_id) / "job.json",
+            self._ledger[job_id],
+            schema=JOB_SCHEMA,
+        )
+        self._save_ledger_locked()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> str:
+        """Bind, announce, and start the accept + executor threads."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(16)
+        self.host, self.port = sock.getsockname()[:2]
+        self._sock = sock
+        write_announce(
+            self.root / ANNOUNCE_NAME, "service", self.host, self.port
+        )
+        for name, target in (
+            ("service-accept", self._accept_loop),
+            ("service-executor", self._executor_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        self.progress(f"service: listening on {self.endpoint} ({self.root})")
+        return self.endpoint
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._events:
+            self._events.notify_all()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+
+    def serve_forever(self) -> None:
+        """Blocking convenience for the CLI: start and wait for stop."""
+        self.start()
+        try:
+            while not self._stop.wait(timeout=0.2):
+                pass
+        except KeyboardInterrupt:
+            self.progress("service: interrupted")
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # job execution
+    def _next_job_id_locked(self) -> str:
+        index = len(self._ledger) + 1
+        while f"job-{index:04d}" in self._ledger:  # pragma: no cover
+            index += 1
+        return f"job-{index:04d}"
+
+    def _submit(
+        self,
+        experiments: Sequence[str],
+        scale: str,
+        chaos: Optional[str] = None,
+    ) -> str:
+        unknown = sorted(set(experiments) - set(ALL_EXPERIMENT_NAMES))
+        if unknown:
+            raise ValueError(
+                f"unknown experiments {unknown}; "
+                f"choose from {sorted(ALL_EXPERIMENT_NAMES)}"
+            )
+        with self._lock:
+            job_id = self._next_job_id_locked()
+            self._ledger[job_id] = {
+                "job_id": job_id,
+                "status": QUEUED,
+                "experiments": list(experiments),
+                "scale": scale,
+                "chaos": chaos,
+                "shards": self.shards,
+                "submitted_ts": round(time.time(), 6),
+                "started_ts": None,
+                "finished_ts": None,
+                "campaign_dir": str(self._job_dir(job_id) / CAMPAIGN_SUBDIR),
+                "report": None,
+                "error": None,
+            }
+            self._job_dir(job_id).mkdir(parents=True, exist_ok=True)
+            self._save_job_locked(job_id)
+            self._queue.append(job_id)
+            self._events.notify_all()
+        self._emit(job_id, {"event": "job_submitted", "job_id": job_id})
+        return job_id
+
+    def _resubmit(self, job_id: str) -> str:
+        with self._lock:
+            record = self._ledger.get(job_id)
+            if record is None:
+                raise ValueError(f"no such job {job_id!r}")
+            if record["status"] in (QUEUED, RUNNING):
+                return job_id  # already pending; resume is a no-op
+            record["status"] = QUEUED
+            record["error"] = None
+            self._save_job_locked(job_id)
+            self._queue.append(job_id)
+            self._events.notify_all()
+        self._emit(job_id, {"event": "job_resubmitted", "job_id": job_id})
+        return job_id
+
+    def _emit(self, job_id: str, event: dict) -> None:
+        """Buffer one event and wake the watchers (log-side is the
+        EventLog the scheduler tap writes through)."""
+        with self._events:
+            self._buffers.setdefault(job_id, []).append(event)
+            self._events.notify_all()
+
+    def _buffer_for(self, job_id: str) -> List[dict]:
+        with self._lock:
+            buffer = self._buffers.get(job_id)
+            if buffer is None:
+                # Server restarted since the job ran: rebuild from disk.
+                log_path = self._job_dir(job_id) / EVENT_LOG_NAME
+                try:
+                    buffer = read_events(log_path)
+                except (OSError, ValueError):
+                    buffer = []
+                self._buffers[job_id] = buffer
+            return buffer
+
+    def _run_job(self, job_id: str) -> None:
+        from ..harness.scheduler import CampaignRunner, CampaignSettings
+
+        with self._lock:
+            record = self._ledger[job_id]
+            record["status"] = RUNNING
+            record["started_ts"] = round(time.time(), 6)
+            self._save_job_locked(job_id)
+        campaign_dir = Path(self._ledger[job_id]["campaign_dir"])
+        resume = (campaign_dir / "campaign.json").exists()
+        chaos = None
+        if self._ledger[job_id].get("chaos"):
+            from ..harness.chaos import parse_chaos_spec
+
+            chaos = parse_chaos_spec(self._ledger[job_id]["chaos"])
+        settings_kwargs = dict(
+            chaos=chaos,
+            shards=self.shards,
+            result_cache_dir=str(self.root / "result_cache"),
+        )
+        if self.jobs is not None:
+            settings_kwargs["jobs"] = self.jobs
+        log = EventLog(self._job_dir(job_id) / EVENT_LOG_NAME)
+        self._emit(
+            job_id,
+            log.append({"event": "job_started", "job_id": job_id}),
+        )
+        try:
+            runner = CampaignRunner(
+                campaign_dir,
+                scale=self._ledger[job_id]["scale"],
+                experiments=tuple(self._ledger[job_id]["experiments"]),
+                settings=CampaignSettings(**settings_kwargs),
+                resume=resume,
+                progress=lambda message: self.progress(
+                    f"{job_id}: {message}"
+                ),
+            )
+            runner.event_sink = lambda event: self._emit(
+                job_id, log.append(event)
+            )
+            report = runner.run()
+        except BaseException as exc:
+            with self._lock:
+                record = self._ledger[job_id]
+                record["status"] = FAILED
+                record["error"] = f"{type(exc).__name__}: {exc}"
+                record["finished_ts"] = round(time.time(), 6)
+                self._save_job_locked(job_id)
+            self._emit(
+                job_id,
+                log.append(
+                    {
+                        "event": "job_failed",
+                        "job_id": job_id,
+                        "error": self._ledger[job_id]["error"],
+                    }
+                ),
+            )
+            log.close()
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            return
+        with self._lock:
+            record = self._ledger[job_id]
+            record["status"] = DONE if report.ok else FAILED
+            record["finished_ts"] = round(time.time(), 6)
+            record["report"] = {
+                "total": report.total,
+                "completed": report.completed,
+                "skipped": report.skipped,
+                "retried_attempts": report.retried_attempts,
+                "failed": report.failed_count,
+                "cache_hits": report.cache_hits,
+                "worker_respawns": report.worker_respawns,
+                "shard_deaths": report.shard_deaths,
+                "shard_walls": dict(report.shard_walls),
+                "interrupted": report.interrupted,
+            }
+            if not report.ok:
+                record["error"] = (
+                    f"{report.failed_count} tasks failed"
+                    if report.failed
+                    else "interrupted"
+                )
+            self._save_job_locked(job_id)
+        self._emit(
+            job_id,
+            log.append(
+                {
+                    "event": "job_done",
+                    "job_id": job_id,
+                    "ok": report.ok,
+                    "completed": report.completed,
+                    "total": report.total,
+                }
+            ),
+        )
+        log.close()
+
+    def _executor_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._events:
+                while not self._queue and not self._stop.is_set():
+                    self._events.wait(timeout=0.2)
+                if self._stop.is_set():
+                    return
+                job_id = self._queue.pop(0)
+            try:
+                self._run_job(job_id)
+            except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+                return
+            except Exception as exc:  # pragma: no cover - last resort
+                self.progress(f"{job_id}: executor error: {exc}")
+
+    # ------------------------------------------------------------------
+    # telemetry
+    def metrics_body(self) -> str:
+        """Prometheus exposition of every job's health record.
+
+        Built by the *same* ``load_records`` → ``to_prometheus`` path
+        ``repro export --format prom`` uses on the same files, so the
+        streaming endpoint and the file exporter agree by construction
+        (and both are covered by the registry drift check).
+        """
+        from ..harness.scheduler import HEALTH_RECORD_NAME
+        from ..metrics.export import load_records, to_prometheus
+
+        paths = []
+        with self._lock:
+            job_ids = sorted(self._ledger)
+        for job_id in job_ids:
+            health = (
+                self._job_dir(job_id) / CAMPAIGN_SUBDIR / HEALTH_RECORD_NAME
+            )
+            if health.exists():
+                paths.append(health)
+        if not paths:
+            return "# no campaign health records yet\n"
+        records = load_records(paths)
+        for record, path in zip(records, paths):
+            record.meta.setdefault("task_id", path.parent.parent.name)
+        return to_prometheus(records)
+
+    # ------------------------------------------------------------------
+    # the listener
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        self._sock.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _peer = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed during stop()
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reader = LineReader(conn)
+            line = reader.readline(timeout=30.0)
+            if line is None:
+                return
+            if line.split(b" ", 1)[0] in (b"GET", b"HEAD"):
+                self._serve_http(conn, line, reader)
+                return
+            try:
+                from .protocol import decode_message
+
+                request = decode_message(line)
+            except ProtocolError as exc:
+                self._send_error(conn, str(exc))
+                return
+            self._serve_request(conn, reader, request)
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _serve_http(
+        self, conn: socket.socket, first_line: bytes, reader: LineReader
+    ) -> None:
+        """A one-endpoint HTTP server: ``GET /metrics``."""
+        # Drain the request headers (until the blank line) politely.
+        while True:
+            line = reader.readline(timeout=5.0)
+            if line is None or line.strip() == b"":
+                break
+        target = first_line.split(b" ")
+        path = target[1].decode("latin-1") if len(target) > 1 else "/"
+        if path.split("?", 1)[0] == "/metrics":
+            body = self.metrics_body().encode("utf-8")
+            status = "200 OK"
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = b"try /metrics\n"
+            status = "404 Not Found"
+            ctype = "text/plain; charset=utf-8"
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            conn.sendall(head + (b"" if first_line.startswith(b"HEAD") else body))
+        except OSError:  # pragma: no cover
+            pass
+
+    def _send_error(self, conn: socket.socket, detail: str) -> None:
+        try:
+            send_message(conn, {"type": "error", "detail": detail})
+        except OSError:  # pragma: no cover
+            pass
+
+    def _job_record(self, job_id: str) -> dict:
+        with self._lock:
+            record = self._ledger.get(job_id)
+            if record is None:
+                raise ValueError(f"no such job {job_id!r}")
+            return json.loads(json.dumps(record))  # defensive copy
+
+    def _serve_request(
+        self, conn: socket.socket, reader: LineReader, request: dict
+    ) -> None:
+        kind = request["type"]
+        try:
+            if kind == "submit":
+                job_id = self._submit(
+                    experiments=request.get("experiments") or ["tables"],
+                    scale=request.get("scale") or "smoke",
+                    chaos=request.get("chaos"),
+                )
+                send_message(conn, {"type": "submitted", "job_id": job_id})
+            elif kind == "resume":
+                job_id = self._resubmit(request["job_id"])
+                send_message(conn, {"type": "submitted", "job_id": job_id})
+            elif kind == "status":
+                job_id = request.get("job_id")
+                if job_id:
+                    send_message(
+                        conn,
+                        {"type": "job", "job": self._job_record(job_id)},
+                    )
+                else:
+                    from ..memo.results import ResultCache
+
+                    with self._lock:
+                        jobs = [
+                            json.loads(json.dumps(self._ledger[key]))
+                            for key in sorted(self._ledger)
+                        ]
+                    cache = ResultCache(self.root / "result_cache")
+                    send_message(
+                        conn,
+                        {
+                            "type": "jobs",
+                            "jobs": jobs,
+                            "result_cache": cache.summary(),
+                        },
+                    )
+            elif kind == "watch":
+                self._serve_watch(conn, request)
+            elif kind == "metrics":
+                send_message(
+                    conn, {"type": "metrics", "body": self.metrics_body()}
+                )
+            elif kind == "shutdown":
+                send_message(conn, {"type": "bye"})
+                self._stop.set()
+                with self._events:
+                    self._events.notify_all()
+            else:
+                self._send_error(conn, f"unknown request type {kind!r}")
+        except ValueError as exc:
+            self._send_error(conn, str(exc))
+
+    def _serve_watch(self, conn: socket.socket, request: dict) -> None:
+        """Stream a job's events live until it reaches a terminal state."""
+        job_id = request["job_id"]
+        self._job_record(job_id)  # raises on unknown job
+        cursor = int(request.get("from_seq") or 0)
+        buffer = self._buffer_for(job_id)
+        while True:
+            with self._events:
+                while (
+                    len(buffer) <= cursor
+                    and self._ledger[job_id]["status"] in (QUEUED, RUNNING)
+                    and not self._stop.is_set()
+                ):
+                    self._events.wait(timeout=0.2)
+                pending = buffer[cursor:]
+                cursor = len(buffer)
+                status = self._ledger[job_id]["status"]
+            for event in pending:
+                send_message(conn, {"type": "event", "data": event})
+            if status not in (QUEUED, RUNNING) or self._stop.is_set():
+                send_message(
+                    conn, {"type": "watched", "job": self._job_record(job_id)}
+                )
+                return
+
+
+def read_ledger(root: PathLike) -> Dict[str, dict]:
+    """Load a service root's job ledger (for ``repro doctor``/tests)."""
+    path = Path(root) / LEDGER_NAME
+    if not path.exists():
+        return {}
+    document = json.loads(read_bytes(path).decode("utf-8"))
+    payload = unwrap_json(document, schema=LEDGER_SCHEMA, path=path)
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("jobs"), dict
+    ):
+        raise BlobError(path, "ledger payload has no jobs mapping",
+                        "malformed-envelope")
+    return dict(payload["jobs"])
