@@ -3,7 +3,7 @@
 #
 # Usage: scripts/ci.sh
 #   [--skip-tests|--skip-bench|--skip-memo|--skip-schema|--skip-durability|
-#    --skip-backend|--skip-analytical|--skip-service]
+#    --skip-backend|--skip-analytical|--skip-service|--skip-workloads]
 #
 # The bench leg runs a *reduced* matrix (3 policies x 1 mix, smoke
 # scale, best-of-3) against the committed full-matrix baseline —
@@ -23,6 +23,7 @@ RUN_DURABILITY=1
 RUN_BACKEND=1
 RUN_ANALYTICAL=1
 RUN_SERVICE=1
+RUN_WORKLOADS=1
 for arg in "$@"; do
   case "$arg" in
     --skip-tests) RUN_TESTS=0 ;;
@@ -33,6 +34,7 @@ for arg in "$@"; do
     --skip-backend) RUN_BACKEND=0 ;;
     --skip-analytical) RUN_ANALYTICAL=0 ;;
     --skip-service) RUN_SERVICE=0 ;;
+    --skip-workloads) RUN_WORKLOADS=0 ;;
     *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -264,6 +266,94 @@ print(
 )
 PY
   python -m repro doctor --strict "$SERVICE_OUT/service"
+fi
+
+if [[ "$RUN_WORKLOADS" == 1 ]]; then
+  echo "== ci: workload registry completeness + golden byte-identity =="
+  # Three gates.  (1) Registry byte-identity: the golden window built
+  # *through the registry* must reproduce the committed pre-registry
+  # digests under every engine backend — the proof that the synthetic
+  # family is the old construction, not a re-implementation of it.
+  # (2) Registry completeness: every registered family's first target
+  # must describe itself, build at a tiny scale, and run one short
+  # simulation to a schema-valid RunRecord stamped with its family.
+  # (3) External round trip: the committed interchange fixture imports
+  # and simulates through the same path users take.
+  python - <<'PY'
+import json, sys
+from repro.bench.golden import compute_golden_digests
+from repro.engine_backends import backend_names
+
+committed = json.load(open("tests/goldens/determinism.json"))
+failures = []
+for backend in backend_names():
+    computed = compute_golden_digests(backend=backend, via_registry=True)
+    for policy, digest in computed.items():
+        if committed.get(policy) != digest:
+            failures.append((backend, policy, digest))
+    print(f"registry/{backend}: {len(computed)} golden digests match")
+if failures:
+    for backend, policy, digest in failures:
+        print(f"FAIL: registry/{backend}/{policy} computed {digest}",
+              file=sys.stderr)
+    sys.exit(1)
+PY
+  WORKLOADS_OUT="$(mktemp -d)"
+  trap 'rm -rf "${BENCH_OUT:-}" "${BACKEND_OUT:-}" "${MEMO_OUT:-}" "${DURA_OUT:-}" "${EXPLORE_OUT:-}" "${SERVICE_OUT:-}" "$WORKLOADS_OUT"' EXIT
+  REPRO_EXTERNAL_WORKLOADS="$WORKLOADS_OUT/external" python - <<'PY'
+from dataclasses import replace
+
+from repro.core import make_policy
+from repro.engine import Simulation
+from repro.experiments.common import SMOKE
+from repro.manifest import describe_workload
+from repro.metrics import RunRecord
+from repro.workloads.external import import_trace
+from repro.workloads.registry import build_workload, family_names, get_family
+
+import_trace("tests/fixtures/external_fixture.csv", "ci_fixture", cores=4)
+
+tiny = replace(SMOKE, trace_records_per_core=3_000)
+config = tiny.system()
+epoch = config.dueling.epoch_cycles
+for name in family_names():
+    family = get_family(name)
+    targets = family.targets()
+    assert targets, f"family {name!r} registered no targets"
+    target = targets[0]
+    spec = family.target_spec(target)
+    workload = build_workload(spec.ref, scale=tiny)
+    assert workload.family == name, (name, workload.family)
+    policy = make_policy("bh")
+    sim = Simulation(config, policy, workload)
+    result = sim.run(cycles=epoch, warmup_cycles=epoch * 0.25)
+    record = RunRecord.from_simulation(
+        result,
+        meta={"workload": describe_workload(workload)},
+        policy=policy,
+    )
+    record.validate()
+    payload = record.to_json()
+    meta = RunRecord.from_json(payload).meta["workload"]  # schema round-trip
+    assert meta.get("family") == name, meta
+    print(f"family {name}: {spec.ref} built, simulated, "
+          f"RunRecord family stamp ok")
+PY
+  # ... and the CLI surface end to end: import -> list -> simulate ->
+  # campaign (one unit) -> export, all over the committed fixture.
+  export REPRO_EXTERNAL_WORKLOADS="$WORKLOADS_OUT/external"
+  python -m repro workloads --family external | grep -q "external:ci_fixture"
+  python -m repro --scale smoke simulate \
+    --mix external:ci_fixture --policy bh --epochs 1 --warmup-epochs 0.5
+  python -m repro --scale smoke campaign \
+    --out "$WORKLOADS_OUT/campaign" \
+    --experiments fig6 \
+    --workloads external:ci_fixture,datacenter:kv_read \
+    --jobs 2 \
+    --timeout 300
+  python -m repro export --format jsonl "$WORKLOADS_OUT/campaign" \
+    | grep -Eq '"workload_family": ?"external"'
+  unset REPRO_EXTERNAL_WORKLOADS
 fi
 
 echo "== ci: OK =="

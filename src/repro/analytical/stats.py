@@ -152,6 +152,9 @@ class WorkloadStatistics:
     reuse_threshold_blocks: int
     reach_blocks: int
     passes: int
+    #: The workload family these statistics were extracted from
+    #: (provenance: estimator validation reports group by family).
+    family: str = "synthetic"
 
     @property
     def n_cores(self) -> int:
@@ -284,6 +287,7 @@ def workload_statistics(
             reuse_threshold_blocks=int(reuse_threshold_blocks),
             reach_blocks=int(reach_blocks),
             passes=int(passes),
+            family=getattr(workload, "family", "synthetic"),
         )
         cache[key] = stats
     return stats

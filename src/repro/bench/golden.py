@@ -78,7 +78,24 @@ def simulation_digest(result: SimulationResult) -> str:
     return hashlib.sha256(canonical.encode("ascii")).hexdigest()
 
 
-def _golden_workload() -> Workload:
+def _golden_workload(via_registry: bool = False) -> Workload:
+    """The golden window's workload, built directly or via the registry.
+
+    The two paths must agree byte-for-byte: ``via_registry=True`` is
+    the ci.sh workloads-leg gate proving the registry's ``synthetic``
+    family resolves to exactly the pre-registry construction.
+    """
+    if via_registry:
+        from dataclasses import replace
+
+        from ..workloads.registry import build_workload
+
+        golden_scale = replace(
+            SMOKE,
+            factor=GOLDEN_SCALE_FACTOR,
+            trace_records_per_core=GOLDEN_RECORDS_PER_CORE,
+        )
+        return build_workload(GOLDEN_MIX, scale=golden_scale, seed=GOLDEN_SEED)
     profiles = [p.scaled(GOLDEN_SCALE_FACTOR) for p in mix_profiles(GOLDEN_MIX)]
     return Workload(
         profiles,
@@ -87,18 +104,23 @@ def _golden_workload() -> Workload:
     )
 
 
-def compute_golden_digests(backend: str = None) -> Dict[str, str]:
+def compute_golden_digests(
+    backend: str = None, via_registry: bool = False
+) -> Dict[str, str]:
     """Digest of the golden window under each golden policy.
 
     ``backend`` selects the engine backend (flag > ``REPRO_BACKEND`` >
     default); the digests must be identical whatever it resolves to —
     that equality is the backend-equivalence gate of ``scripts/ci.sh``.
+    ``via_registry`` resolves the golden workload through the workload
+    registry instead of constructing it directly; the digests must
+    again be identical (the registry byte-identity gate).
     """
     config = SMOKE.system()
     epoch = config.dueling.epoch_cycles
     digests: Dict[str, str] = {}
     for policy_name in GOLDEN_POLICIES:
-        workload = _golden_workload()
+        workload = _golden_workload(via_registry=via_registry)
         sim = Simulation(
             config, make_policy(policy_name), workload, backend=backend
         )

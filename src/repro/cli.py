@@ -3,6 +3,8 @@
 Commands
 --------
 ``list``      — registered policies, mixes, applications, scales
+``workloads`` — workload families/targets with metadata, or
+                ``--import`` an external trace as a new target
 ``simulate``  — run one mix under one policy, print the statistics
 ``forecast``  — lifetime forecast for one or more policies on a mix
 ``figure``    — regenerate one of the paper's tables/figures
@@ -133,19 +135,126 @@ def _check_backend(value: Optional[str]) -> Optional[str]:
     return _check_choice("backend", value, backend_names())
 
 
+def _check_workload_ref(value: str) -> str:
+    """Validate a workload reference; returns the normalized form.
+
+    Accepts bare mix names (``mix1``) and ``family:target`` refs;
+    unknown references exit 2 with a did-you-mean suggestion drawn
+    from the registry, matching every other CLI choice error.
+    """
+    from .workloads.registry import (
+        DEFAULT_FAMILY,
+        WorkloadRefError,
+        normalize_workload_ref,
+        workload_refs,
+    )
+
+    try:
+        return normalize_workload_ref(value)
+    except WorkloadRefError as exc:
+        prefix = DEFAULT_FAMILY + ":"
+        choices = [
+            ref[len(prefix):] if ref.startswith(prefix) else ref
+            for ref in (exc.choices or workload_refs())
+        ]
+        raise UsageError(
+            f"unknown workload {value!r}{_did_you_mean(value, choices)} "
+            "(list with: repro workloads)"
+        ) from None
+
+
+def _check_workload_list(spec: str) -> tuple:
+    """Validate a comma-separated ``--workloads`` flag value."""
+    refs = tuple(
+        _check_workload_ref(ref.strip())
+        for ref in spec.split(",")
+        if ref.strip()
+    )
+    if not refs:
+        raise UsageError("--workloads needs at least one reference")
+    return refs
+
+
 def cmd_list(args: argparse.Namespace) -> int:
+    from .workloads.registry import family_names
+
     print("policies   :", ", ".join(registered_policies()))
     print("mixes      :", ", ".join(MIX_NAMES))
+    print("families   :", ", ".join(family_names()), " (repro workloads)")
     print("apps       :", ", ".join(APP_NAMES))
     print("scales     :", ", ".join(SCALE_NAMES), " (env REPRO_SCALE)")
     print("experiments:", ", ".join(EXPERIMENT_NAMES), " (campaign)")
     return 0
 
 
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from .workloads.registry import family_names, get_family
+
+    if args.import_source:
+        from .workloads.external import import_trace
+        from .workloads.traceio import TraceFormatError
+
+        if not args.name:
+            raise UsageError("--import needs --name NAME for the new target")
+        try:
+            target_dir = import_trace(
+                args.import_source,
+                args.name,
+                root=args.root,
+                cores=args.cores,
+                hcr=args.hcr,
+                lcr=args.lcr,
+                addr_kind=args.addr_kind,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            raise UsageError(str(exc)) from None
+        except (OSError, TraceFormatError) as exc:
+            print(f"repro: import failed: {exc}", file=sys.stderr)
+            return 1
+        spec = get_family("external").target_spec(args.name)
+        print(f"imported external:{args.name} -> {target_dir}")
+        print(
+            f"  cores={spec.cores}  footprint={spec.footprint_blocks} blocks"
+            f"  hcr={spec.hcr_fraction:.2f} lcr={spec.lcr_fraction:.2f}"
+        )
+        print(f"  run with: repro simulate --mix external:{args.name}")
+        return 0
+
+    names = family_names()
+    if args.family:
+        _check_choice("family", args.family, names)
+        names = (args.family,)
+    rows = []
+    for family_name in names:
+        family = get_family(family_name)
+        targets = family.targets()
+        note = "" if targets else "  (none imported; see workloads --import)"
+        print(f"{family_name}: {family.description}{note}")
+        for target in targets:
+            spec = family.target_spec(target)
+            rows.append(
+                {
+                    "workload": spec.ref,
+                    "cores": spec.cores,
+                    "footprint_blocks": spec.footprint_blocks,
+                    "hcr": f"{spec.hcr_fraction:.2f}",
+                    "lcr": f"{spec.lcr_fraction:.2f}",
+                    "incomp": f"{spec.incompressible_fraction:.2f}",
+                    "scaling": "scalable" if spec.scalable else "fixed",
+                    "description": spec.description,
+                }
+            )
+    if rows:
+        print()
+        print(format_records(rows, "workload targets"))
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     scale = _resolve_scale(args.scale)
     config = scale.system()
-    _check_choice("mix", args.mix, MIX_NAMES)
+    args.mix = _check_workload_ref(args.mix)
     name, policy = _make_policy_checked(args.policy)
     workload = scale.workload(args.mix, seed=args.seed)
     sim = Simulation(config, policy, workload, backend=_check_backend(args.backend))
@@ -185,7 +294,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_forecast(args: argparse.Namespace) -> int:
     scale = _resolve_scale(args.scale)
     config = scale.system()
-    _check_choice("mix", args.mix, MIX_NAMES)
+    args.mix = _check_workload_ref(args.mix)
     epoch = config.dueling.epoch_cycles
     rows = []
     baseline_seconds = None
@@ -314,9 +423,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
 
     if args.resume:
+        if args.workloads:
+            raise UsageError(
+                "--workloads applies at creation; a resumed campaign "
+                "reuses the workload list recorded in its manifest"
+            )
         directory, resume = args.resume, True
         scale_name = None
         experiments: Sequence[str] = ()
+        workloads = None
     else:
         if not args.out:
             raise UsageError("campaign needs --out DIR (or --resume DIR)")
@@ -327,6 +442,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         experiments = [e.strip() for e in args.experiments.split(",") if e.strip()]
         for name in experiments:
             _check_choice("experiment", name, ALL_EXPERIMENT_NAMES)
+        workloads = (
+            _check_workload_list(args.workloads) if args.workloads else None
+        )
 
     # Workers inherit the environment, so pointing the trace cache at
     # the campaign directory lets every task share materialized traces.
@@ -367,6 +485,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 experiments=experiments,
                 settings=settings,
                 resume=resume,
+                workloads=workloads,
                 progress=lambda message: print(message),
             )
         except CampaignConfigError as exc:
@@ -701,6 +820,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
     scale = _resolve_scale(args.scale)
     _check_choice("space", args.space, SPACE_NAMES)
     _check_choice("objective", args.objective, OBJECTIVES)
+    if args.workloads:
+        from dataclasses import replace
+
+        scale = replace(scale, mixes=_check_workload_list(args.workloads))
     try:
         settings = ExploreSettings(
             space=args.space,
@@ -960,8 +1083,39 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_list
     )
 
+    p = sub.add_parser(
+        "workloads",
+        help="list workload families/targets with metadata, or --import "
+             "an external trace as a new target",
+    )
+    p.add_argument("--family", default=None,
+                   help="only list this family's targets")
+    p.add_argument("--import", dest="import_source", default=None,
+                   metavar="CSV",
+                   help="import an interchange CSV (core,gap,addr,is_write "
+                        "per line) as an external target")
+    p.add_argument("--name", default=None,
+                   help="target name the import registers (--import)")
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="external workload root (default: env "
+                        "REPRO_EXTERNAL_WORKLOADS)")
+    p.add_argument("--cores", type=int, default=4,
+                   help="core count declared by the imported trace")
+    p.add_argument("--hcr", type=float, default=0.5,
+                   help="declared fraction of highly-compressible blocks")
+    p.add_argument("--lcr", type=float, default=0.28,
+                   help="declared fraction of lightly-compressible blocks")
+    p.add_argument("--addr-kind", default="block", choices=("block", "byte"),
+                   help="address column unit of the CSV (byte addresses "
+                        "are shifted to 64B blocks on import)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="size-draw seed recorded in the target identity")
+    p.set_defaults(func=cmd_workloads)
+
     p = sub.add_parser("simulate", help="run one mix under one policy")
-    p.add_argument("--mix", default="mix1")
+    p.add_argument("--mix", default="mix1",
+                   help="mix name or family:target workload ref "
+                        "(see: repro workloads)")
     p.add_argument("--policy", default="cp_sd",
                    help="name or name:key=val (e.g. ca_rwr:cpth=37)")
     p.add_argument("--epochs", type=float, default=4.0)
@@ -976,7 +1130,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("forecast", help="lifetime forecast for policies")
-    p.add_argument("--mix", default="mix1")
+    p.add_argument("--mix", default="mix1",
+                   help="mix name or family:target workload ref")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("policies", nargs="+",
                    help="e.g. bh lhybrid cp_sd cp_sd_th:th=8")
@@ -1002,6 +1157,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="existing campaign directory to resume")
     p.add_argument("--experiments", default=",".join(EXPERIMENT_NAMES),
                    help=f"comma-separated subset of {EXPERIMENT_NAMES}")
+    p.add_argument("--workloads", default=None, metavar="REFS",
+                   help="comma-separated family:target workload refs "
+                        "replacing the scale's default mixes (recorded in "
+                        "the manifest; --resume reuses them)")
     p.add_argument("--jobs", type=int, default=None,
                    help="parallel worker processes")
     p.add_argument("--timeout", type=float, default=600.0,
@@ -1157,6 +1316,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="existing exploration directory to resume")
     p.add_argument("--space", default="default",
                    help="design space: default (1008 points) | tiny (CI)")
+    p.add_argument("--workloads", default=None, metavar="REFS",
+                   help="comma-separated family:target workload refs "
+                        "replacing the scale's default mixes")
     p.add_argument("--eta", type=int, default=4,
                    help="successive-halving keep ratio (keep 1/eta per rung)")
     p.add_argument("--confirm", type=int, default=16,

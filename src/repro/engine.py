@@ -53,17 +53,27 @@ class Workload:
         profiles: Sequence[AppProfile],
         seed: int = 0,
         trace_records_per_core: int = 150_000,
+        family: str = "synthetic",
+        target: Optional[str] = None,
     ) -> None:
         if not profiles:
             raise ValueError("need at least one profile")
         self.profiles = list(profiles)
         self.seed = seed
+        #: Workload-registry provenance: the family that produced this
+        #: workload and (when built through the registry) its target.
+        #: Stamped into RunRecord meta via ``describe_workload``; never
+        #: part of simulation digests.
+        self.family = family
+        self.target = target
         #: Corrupt sidecars this build quarantined and redrew —
         #: collected into RunRecords so quiet corruption is visible.
         self.sidecar_redraws = 0
         self.data_model = DataModel(self.profiles, seed=seed)
         self.traces: List[MaterializedTrace] = [
-            load_or_materialize(prof, core, seed, trace_records_per_core)
+            load_or_materialize(
+                prof, core, seed, trace_records_per_core, family=family
+            )
             for core, prof in enumerate(self.profiles)
         ]
         # Every address a replay can touch is known now; warm the data
@@ -76,7 +86,7 @@ class Workload:
         for core, (prof, trace) in enumerate(zip(self.profiles, self.traces)):
             try:
                 sizes = load_sizes_sidecar(
-                    prof, core, seed, trace_records_per_core
+                    prof, core, seed, trace_records_per_core, family=family
                 )
             except SidecarError as exc:
                 logging.getLogger(__name__).warning(
@@ -95,6 +105,7 @@ class Workload:
                 save_sizes_sidecar(
                     prof, core, seed, trace_records_per_core,
                     self.data_model.sizes_for(set(trace.addrs)),
+                    family=family,
                 )
 
     @classmethod
@@ -103,6 +114,44 @@ class Workload:
     ) -> "Workload":
         return cls(mix_profiles(mix_name), seed=seed,
                    trace_records_per_core=trace_records_per_core)
+
+    @classmethod
+    def from_traces(
+        cls,
+        profiles: Sequence[AppProfile],
+        traces: Sequence[MaterializedTrace],
+        seed: int = 0,
+        sizes_per_core: Optional[Sequence] = None,
+        family: str = "external",
+        target: Optional[str] = None,
+    ) -> "Workload":
+        """A workload over already-materialized traces.
+
+        The ingestion path of the ``external`` workload family: the
+        traces were imported (not generated), so the synthetic
+        generator and its disk cache are bypassed entirely.
+        ``sizes_per_core`` optionally supplies each core's persisted
+        ``addr -> (csize, ecb)`` table (``None`` entries are redrawn
+        from the data model, which is deterministic for the import
+        seed, so a missing table changes nothing but build time).
+        """
+        if len(profiles) != len(traces):
+            raise ValueError("one profile per trace required")
+        workload = cls.__new__(cls)
+        workload.profiles = list(profiles)
+        workload.seed = seed
+        workload.family = family
+        workload.target = target
+        workload.sidecar_redraws = 0
+        workload.data_model = DataModel(workload.profiles, seed=seed)
+        workload.traces = list(traces)
+        for core, trace in enumerate(workload.traces):
+            sizes = sizes_per_core[core] if sizes_per_core else None
+            if sizes is not None:
+                workload.data_model.preload_sizes(sizes)
+            else:
+                workload.data_model.prefetch_sizes(trace.addrs)
+        return workload
 
     @property
     def n_cores(self) -> int:

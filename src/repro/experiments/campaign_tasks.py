@@ -143,11 +143,24 @@ def run_campaign_task(experiment: str, unit: Mapping, scale_name: str) -> dict:
     versioned record shape.
     """
     from ..metrics import RunRecord
+    from ..workloads.registry import WorkloadRefError, parse_workload_ref
     from .common import get_scale
 
     scale = get_scale(scale_name)
     record = EXPERIMENTS[experiment].run_unit(scale, **dict(unit))
     if isinstance(record, RunRecord):
         record.meta.setdefault("scale", scale.name)
+        ref = dict(unit).get("mix")
+        if isinstance(ref, str):
+            # Stamp the producing workload family so `repro export`
+            # and service health records can report it even for units
+            # whose runner predates the registry.
+            try:
+                family, target = parse_workload_ref(ref)
+            except WorkloadRefError:
+                pass
+            else:
+                record.meta.setdefault("workload_family", family)
+                record.meta.setdefault("workload_target", target)
         return record.to_json()
     return record

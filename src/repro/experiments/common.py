@@ -27,8 +27,7 @@ from ..config import (
     SystemConfig,
 )
 from ..engine import Workload
-from ..workloads.cache import SHARED_WORKLOAD_CACHE
-from ..workloads.mixes import MIX_NAMES, mix_profiles
+from ..workloads.mixes import MIX_NAMES
 
 #: Full-size (paper) reference dimensions.
 PAPER_N_SETS = 8192
@@ -100,18 +99,19 @@ class ExperimentScale:
         return cfg
 
     def workload(self, mix_name: str, seed: int = 0) -> Workload:
-        """Build a mix's workload with footprints scaled to match.
+        """Build the workload a reference names, scaled to match.
 
-        Routed through the process-wide :class:`WorkloadCache`: sweeps
-        that revisit the same (mix, seed, scale) share one built
+        ``mix_name`` is a workload reference — a bare Table V mix name
+        (``"mix1"``) or any registered ``family:target``
+        (``"datacenter:kv_read"``, ``"external:masstree"``, …).  The
+        registry routes synthetic families through the process-wide
+        :class:`~repro.workloads.cache.WorkloadCache`: sweeps that
+        revisit the same (target, seed, scale) share one built
         workload instead of regenerating identical traces per policy.
         """
-        profiles = [p.scaled(self.factor) for p in mix_profiles(mix_name)]
-        records = self.trace_records_per_core
-        return SHARED_WORKLOAD_CACHE.get(
-            profiles, seed, records,
-            lambda: Workload(profiles, seed=seed, trace_records_per_core=records),
-        )
+        from ..workloads.registry import build_workload
+
+        return build_workload(mix_name, scale=self, seed=seed)
 
 
 SMOKE = ExperimentScale(

@@ -99,6 +99,11 @@ class CampaignManifest:
     #: — mirrored from ``shards.json`` so ``repro status`` reads one
     #: file.  ``None`` for campaigns that never ran sharded.
     shards: Optional[dict] = None
+    #: Workload references the campaign was created over (normalized
+    #: ``family:target`` refs replacing the scale preset's mixes).
+    #: ``None`` means the scale's default mixes — the pre-registry
+    #: behaviour.
+    workloads: Optional[Tuple[str, ...]] = None
     tasks: Dict[str, TaskEntry] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -127,6 +132,7 @@ class CampaignManifest:
         experiments,
         chaos: Optional[ChaosConfig] = None,
         backend: Optional[str] = None,
+        workloads: Optional[Tuple[str, ...]] = None,
     ) -> "CampaignManifest":
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -140,20 +146,20 @@ class CampaignManifest:
             experiments=tuple(experiments),
             chaos=chaos.to_json() if chaos else None,
             backend=backend,
+            workloads=tuple(workloads) if workloads else None,
         )
         manifest.results_dir.mkdir(exist_ok=True)
         manifest.errors_dir.mkdir(exist_ok=True)
         # Immutable identity record, written exactly once: the seed
         # recovery rebuilds from if campaign.json is ever destroyed.
-        write_json_atomic(
-            manifest.meta_path,
-            {
-                "scale": manifest.scale,
-                "experiments": list(manifest.experiments),
-                "backend": manifest.backend,
-            },
-            schema=META_FORMAT,
-        )
+        meta = {
+            "scale": manifest.scale,
+            "experiments": list(manifest.experiments),
+            "backend": manifest.backend,
+        }
+        if manifest.workloads is not None:
+            meta["workloads"] = list(manifest.workloads)
+        write_json_atomic(manifest.meta_path, meta, schema=META_FORMAT)
         manifest.save()
         return manifest
 
@@ -183,6 +189,7 @@ class CampaignManifest:
             raise CampaignConfigError(
                 f"{path}: unsupported manifest format {fmt!r}"
             )
+        workloads = data.get("workloads")
         manifest = cls(
             directory=directory,
             scale=data["scale"],
@@ -190,6 +197,7 @@ class CampaignManifest:
             chaos=data.get("chaos"),
             backend=data.get("backend"),
             shards=data.get("shards"),
+            workloads=tuple(workloads) if workloads else None,
             tasks={
                 task_id: TaskEntry.from_json(entry)
                 for task_id, entry in data.get("tasks", {}).items()
@@ -226,11 +234,15 @@ class CampaignManifest:
             "campaign-manifest",
             root=directory,
         )
+        recovered_workloads = meta.get("workloads")
         manifest = cls(
             directory=directory,
             scale=meta["scale"],
             experiments=tuple(meta["experiments"]),
             backend=meta.get("backend"),
+            workloads=(
+                tuple(recovered_workloads) if recovered_workloads else None
+            ),
         )
         manifest.results_dir.mkdir(exist_ok=True)
         manifest.errors_dir.mkdir(exist_ok=True)
@@ -270,6 +282,10 @@ class CampaignManifest:
         # key keeps never-sharded manifests byte-identical to PR 6's.
         if self.shards is not None:
             document["shards"] = self.shards
+        # Same byte-stability rule: only campaigns created over an
+        # explicit workload list carry the key.
+        if self.workloads is not None:
+            document["workloads"] = list(self.workloads)
         write_json_atomic(self.path, document, schema=MANIFEST_FORMAT)
 
     # ------------------------------------------------------------------

@@ -41,12 +41,13 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..experiments.campaign_tasks import CampaignTask, enumerate_campaign_tasks
 from ..experiments.common import get_scale
+from ..workloads.registry import normalize_workload_ref, workload_ref_fingerprint
 from ..fsio.quarantine import quarantine_file
 from ..memo.fingerprint import code_fingerprint
 from ..memo.results import ResultCache, result_cache_dir, result_cache_key
@@ -245,6 +246,7 @@ class CampaignRunner:
         resume: bool = False,
         progress: Progress = None,
         stop_after: Optional[int] = None,
+        workloads: Optional[Sequence[str]] = None,
     ):
         self.directory = Path(directory)
         self.settings = settings or CampaignSettings()
@@ -261,6 +263,9 @@ class CampaignRunner:
             self.manifest = CampaignManifest.load(self.directory, recover=True)
             self.scale_name = self.manifest.scale
             self.experiments = self.manifest.experiments
+            # Workload identity (like scale and experiments): a resumed
+            # campaign runs over the workloads it was created with.
+            self.workloads = self.manifest.workloads
             self.manifest.chaos = (
                 self.settings.chaos.to_json() if self.settings.chaos else None
             )
@@ -277,11 +282,20 @@ class CampaignRunner:
                 )
             self.scale_name = scale
             self.experiments = tuple(experiments)
+            # Validated + normalized eagerly (synthetic refs canonical-
+            # ize to bare mix names) so unit ids, memo keys and the
+            # manifest all agree on one spelling per target.
+            self.workloads = (
+                tuple(normalize_workload_ref(ref) for ref in workloads)
+                if workloads
+                else None
+            )
             self.manifest = CampaignManifest.create(
                 self.directory,
                 scale=self.scale_name,
                 experiments=self.experiments,
                 chaos=self.settings.chaos,
+                workloads=self.workloads,
             )
         # Scale names are validated eagerly so a typo fails fast.
         get_scale(self.scale_name)
@@ -345,8 +359,15 @@ class CampaignRunner:
         )
 
     def _cache_key(self, task: CampaignTask) -> str:
+        # The workload component is None for synthetic units, keeping
+        # their keys byte-compatible with the pre-registry key space.
+        ref = task.unit.get("mix") if hasattr(task.unit, "get") else None
+        workload = (
+            workload_ref_fingerprint(ref) if isinstance(ref, str) else None
+        )
         return result_cache_key(
-            task.experiment, task.unit, self.scale_name, self._fingerprint
+            task.experiment, task.unit, self.scale_name, self._fingerprint,
+            workload=workload,
         )
 
     def _serve_from_cache(
@@ -549,6 +570,11 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     def run(self) -> CampaignReport:
         scale = get_scale(self.scale_name)
+        if self.workloads:
+            # An explicit workload list replaces the preset's mixes for
+            # unit enumeration; workers resolve each ref through the
+            # registry transparently (``scale.workload(ref)``).
+            scale = replace(scale, mixes=tuple(self.workloads))
         tasks = enumerate_campaign_tasks(self.experiments, scale)
         self._clean_stale_tmp()
 
@@ -988,15 +1014,20 @@ class CampaignRunner:
         metrics = {}
         metrics.update(REGISTRY.collect("scheduler", report))
         metrics.update(REGISTRY.collect("storage", HEALTH))
+        meta = {
+            "scale": self.scale_name,
+            "experiments": list(self.experiments),
+            "backend": self.manifest.backend,
+            "mode": mode,
+            "interrupted": report.interrupted,
+        }
+        # Only campaigns created over an explicit workload list carry
+        # the key (byte-stability for default campaigns' records).
+        if self.workloads:
+            meta["workloads"] = list(self.workloads)
         record = RunRecord(
             kind="campaign-health",
-            meta={
-                "scale": self.scale_name,
-                "experiments": list(self.experiments),
-                "backend": self.manifest.backend,
-                "mode": mode,
-                "interrupted": report.interrupted,
-            },
+            meta=meta,
             metrics=metrics,
             values={
                 "shard_walls": dict(sorted(report.shard_walls.items())),
@@ -1036,6 +1067,7 @@ def run_campaign(
     resume: bool = False,
     progress: Progress = None,
     stop_after: Optional[int] = None,
+    workloads: Optional[Sequence[str]] = None,
 ) -> CampaignReport:
     """Convenience wrapper: build a runner and run it."""
     runner = CampaignRunner(
@@ -1046,5 +1078,6 @@ def run_campaign(
         resume=resume,
         progress=progress,
         stop_after=stop_after,
+        workloads=workloads,
     )
     return runner.run()

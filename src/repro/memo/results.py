@@ -62,26 +62,36 @@ def result_cache_key(
     unit: Mapping[str, Any],
     scale: str,
     fingerprint: Optional[str] = None,
+    workload: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """Hex SHA-256 over every input that shapes a campaign unit result.
 
     Flipping any of experiment, unit contents (policy, mix, seed, …),
     scale, or the code fingerprint produces a different key — cache
     misuse is a key mismatch, not a runtime check.
+
+    ``workload`` is the workload-family key component
+    (:func:`~repro.workloads.registry.workload_ref_fingerprint` of the
+    unit's reference): ``None`` for synthetic-family units — whose
+    keys must stay byte-compatible with the pre-registry key space —
+    and a ``{family, target, spec_hash}`` dict otherwise, so cached
+    results never cross families and a re-imported external target
+    (new spec hash) sheds its stale entries.
     """
-    blob = canonical_json(
-        {
-            "fingerprint": (
-                fingerprint if fingerprint is not None else code_fingerprint()
-            ),
-            "experiment": experiment,
-            "unit": dict(unit),
-            "scale": scale,
-            # A RunRecord schema bump sheds every old-shape entry at
-            # the *key* level, on top of the get()-time validation.
-            "record_schema": RUN_RECORD_SCHEMA,
-        }
-    )
+    inputs: Dict[str, Any] = {
+        "fingerprint": (
+            fingerprint if fingerprint is not None else code_fingerprint()
+        ),
+        "experiment": experiment,
+        "unit": dict(unit),
+        "scale": scale,
+        # A RunRecord schema bump sheds every old-shape entry at
+        # the *key* level, on top of the get()-time validation.
+        "record_schema": RUN_RECORD_SCHEMA,
+    }
+    if workload is not None:
+        inputs["workload"] = dict(workload)
+    blob = canonical_json(inputs)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

@@ -1,9 +1,44 @@
-"""Synthetic SPEC-like workloads: profiles, mixes, traces, data model."""
+"""Workloads: a registry of families (synthetic, scenario, external).
+
+The registry (:mod:`repro.workloads.registry`) is the front door:
+families are looked up by name, targets by ``family:target``
+references, and :func:`build_workload` turns a reference into a
+ready-to-simulate :class:`~repro.engine.Workload`.  Registered
+families: ``synthetic`` (the paper's Table V mixes), ``datacenter`` /
+``phase`` / ``adversarial`` (scenario families,
+:mod:`repro.workloads.families`), and ``external`` (imported traces,
+:mod:`repro.workloads.external`).
+
+.. deprecated::
+   The flat, single-family names re-exported below (``PROFILES``,
+   ``MIXES``, ``profile``, ``mix_profiles``, …) describe only the
+   ``synthetic`` family and are kept as thin back-compat shims over
+   the registry.  New code should resolve workloads through the
+   registry API (``get_family``/``resolve_workload_ref``/
+   ``build_workload``) so every family — not just the paper's mixes —
+   is reachable.
+"""
 
 from .data import DataModel
 from .generator import AppTraceGenerator
 from .mixes import MIX_NAMES, MIXES, mix_profiles
 from .profiles import APP_NAMES, PROFILES, AppProfile, make_comp_weights, profile
+from .registry import (
+    DEFAULT_FAMILY,
+    SyntheticProfileFamily,
+    TargetSpec,
+    WorkloadFamily,
+    WorkloadRefError,
+    build_workload,
+    family_names,
+    get_family,
+    normalize_workload_ref,
+    parse_workload_ref,
+    register_family,
+    resolve_workload_ref,
+    workload_ref_fingerprint,
+    workload_refs,
+)
 from .synthetic import (
     homogeneous_mix,
     incompressible_profile,
@@ -29,15 +64,22 @@ __all__ = [
     "AppProfile",
     "AppTraceGenerator",
     "CORE_ADDR_SHIFT",
+    "DEFAULT_FAMILY",
     "DataModel",
     "MIXES",
     "MIX_NAMES",
     "MaterializedTrace",
     "PROFILES",
+    "SyntheticProfileFamily",
+    "TargetSpec",
     "TraceFormatError",
     "TraceRecord",
+    "WorkloadFamily",
+    "WorkloadRefError",
+    "build_workload",
+    "family_names",
     "file_sha256",
-    "validate_trace",
+    "get_family",
     "homogeneous_mix",
     "incompressible_profile",
     "load_trace",
@@ -46,11 +88,18 @@ __all__ = [
     "make_comp_weights",
     "materialize",
     "mix_profiles",
+    "normalize_workload_ref",
+    "parse_workload_ref",
     "pointer_chase_profile",
+    "profile",
+    "register_family",
+    "resolve_workload_ref",
     "save_trace",
     "save_trace_csv",
-    "profile",
     "scanning_profile",
     "streaming_profile",
+    "validate_trace",
+    "workload_ref_fingerprint",
+    "workload_refs",
     "write_heavy_profile",
 ]

@@ -82,21 +82,36 @@ GENERATOR_VERSION = 1
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 
 
+#: The workload family whose cache keys predate family scoping.  Its
+#: keys deliberately omit the family token so every pre-registry
+#: on-disk trace/sidecar entry keeps matching.
+DEFAULT_KEY_FAMILY = "synthetic"
+
+
 def trace_cache_key(
-    profile: AppProfile, core: int, seed: int, n_records: int
+    profile: AppProfile,
+    core: int,
+    seed: int,
+    n_records: int,
+    family: str = DEFAULT_KEY_FAMILY,
 ) -> str:
-    """Hex SHA-256 over every input that shapes a materialized trace."""
-    blob = json.dumps(
-        {
-            "generator_version": GENERATOR_VERSION,
-            "profile": dataclasses.asdict(profile),
-            "core": core,
-            "seed": seed,
-            "n_records": n_records,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    """Hex SHA-256 over every input that shapes a materialized trace.
+
+    ``family`` scopes keys per workload family so entries can never
+    cross families even if two families hand out equal profiles; the
+    default (synthetic) family is keyed exactly as before the registry
+    existed, preserving every already-materialized cache entry.
+    """
+    inputs: Dict[str, object] = {
+        "generator_version": GENERATOR_VERSION,
+        "profile": dataclasses.asdict(profile),
+        "core": core,
+        "seed": seed,
+        "n_records": n_records,
+    }
+    if family != DEFAULT_KEY_FAMILY:
+        inputs["family"] = family
+    blob = json.dumps(inputs, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("ascii")).hexdigest()
 
 
@@ -107,7 +122,11 @@ def trace_cache_dir() -> Optional[Path]:
 
 
 def load_or_materialize(
-    profile: AppProfile, core: int, seed: int, n_records: int
+    profile: AppProfile,
+    core: int,
+    seed: int,
+    n_records: int,
+    family: str = DEFAULT_KEY_FAMILY,
 ) -> MaterializedTrace:
     """Return the trace for one core, via the disk cache when enabled.
 
@@ -120,7 +139,8 @@ def load_or_materialize(
     if directory is None:
         return materialize(AppTraceGenerator(profile, core, seed=seed), n_records)
 
-    path = directory / f"{trace_cache_key(profile, core, seed, n_records)}.trc"
+    key = trace_cache_key(profile, core, seed, n_records, family=family)
+    path = directory / f"{key}.trc"
     if path.exists():
         try:
             return load_trace_mmap(path)
@@ -174,10 +194,49 @@ class SidecarError(ValueError):
 
 
 def sizes_sidecar_path(
-    directory: Path, profile: AppProfile, core: int, seed: int, n_records: int
+    directory: Path,
+    profile: AppProfile,
+    core: int,
+    seed: int,
+    n_records: int,
+    family: str = DEFAULT_KEY_FAMILY,
 ) -> Path:
     """Sidecar path: same content-hash key as the trace, ``.sizes``."""
-    return directory / f"{trace_cache_key(profile, core, seed, n_records)}.sizes"
+    key = trace_cache_key(profile, core, seed, n_records, family=family)
+    return directory / f"{key}.sizes"
+
+
+def write_sizes_file(
+    path: Path, entries: Dict[int, Tuple[int, int]]
+) -> str:
+    """Serialise an ``addr -> (csize, ecb)`` table to ``path``.
+
+    The checksummed envelope + REPROSZC layout used by cache sidecars,
+    exposed for callers that place size files themselves (the external
+    trace importer).  Entries are written sorted by address so
+    identical tables serialise to identical bytes; returns the hex
+    SHA-256 of the written file.
+    """
+    pack = _SIZES_RECORD.pack
+    inner = _SIZES_HEADER.pack(
+        _SIZES_MAGIC, SIZES_VERSION, len(entries)
+    ) + b"".join(
+        pack(addr, csize, ecb)
+        for addr, (csize, ecb) in sorted(entries.items())
+    )
+    return atomic_write_bytes(path, wrap_bytes(inner, SIDECAR_SCHEMA))
+
+
+def read_sizes_file(path: Path) -> Dict[int, Tuple[int, int]]:
+    """Parse a size table written by :func:`write_sizes_file`.
+
+    Raises :class:`FileNotFoundError` when missing and
+    :class:`SidecarError` on any validation failure — quarantining is
+    the *caller's* policy (cache sidecars quarantine into the cache
+    root, external targets into the target directory).
+    """
+    blob = read_bytes(path)
+    return _parse_sidecar(path, blob)
 
 
 def save_sizes_sidecar(
@@ -186,33 +245,32 @@ def save_sizes_sidecar(
     seed: int,
     n_records: int,
     entries: Dict[int, Tuple[int, int]],
+    family: str = DEFAULT_KEY_FAMILY,
 ) -> None:
     """Persist an ``addr -> (csize, ecb)`` table next to its trace.
 
     No-op when the disk cache is disabled or unwritable — sidecars are
-    an accelerator, never a requirement.  Entries are written sorted
-    by address so identical tables serialise to identical bytes.
+    an accelerator, never a requirement.
     """
     directory = trace_cache_dir()
     if directory is None:
         return
-    path = sizes_sidecar_path(directory, profile, core, seed, n_records)
-    pack = _SIZES_RECORD.pack
-    inner = _SIZES_HEADER.pack(
-        _SIZES_MAGIC, SIZES_VERSION, len(entries)
-    ) + b"".join(
-        pack(addr, csize, ecb)
-        for addr, (csize, ecb) in sorted(entries.items())
+    path = sizes_sidecar_path(
+        directory, profile, core, seed, n_records, family=family
     )
     try:
         directory.mkdir(parents=True, exist_ok=True)
-        atomic_write_bytes(path, wrap_bytes(inner, SIDECAR_SCHEMA))
+        write_sizes_file(path, entries)
     except OSError:
         pass
 
 
 def load_sizes_sidecar(
-    profile: AppProfile, core: int, seed: int, n_records: int
+    profile: AppProfile,
+    core: int,
+    seed: int,
+    n_records: int,
+    family: str = DEFAULT_KEY_FAMILY,
 ) -> Optional[Dict[int, Tuple[int, int]]]:
     """The persisted size table for a trace, ``None``, or an error.
 
@@ -226,7 +284,9 @@ def load_sizes_sidecar(
     directory = trace_cache_dir()
     if directory is None:
         return None
-    path = sizes_sidecar_path(directory, profile, core, seed, n_records)
+    path = sizes_sidecar_path(
+        directory, profile, core, seed, n_records, family=family
+    )
     if not path.exists():
         return None
     try:
@@ -271,19 +331,21 @@ def _parse_sidecar(
     }
 
 
-WorkloadKey = Tuple[Tuple[AppProfile, ...], int, int]
+WorkloadKey = Tuple[str, Tuple[AppProfile, ...], int, int]
 W = TypeVar("W")
 
 
 class WorkloadCache:
     """Small in-process LRU of built workloads.
 
-    Keys are ``(profiles, seed, trace_records_per_core)`` — profiles
-    are frozen dataclasses, so equal keys mean byte-identical traces.
-    Sharing a built workload across runs is safe because simulations
-    never mutate it: the only state that grows is the data model's
-    size memo, whose entries are a pure function of (address, seed)
-    and are fully prefetched at construction anyway.
+    Keys are ``(token, profiles, seed, trace_records_per_core)`` —
+    profiles are frozen dataclasses, so equal keys mean byte-identical
+    traces, and ``token`` (the workload family name) keeps families
+    from sharing entries even when their profiles collide.  Sharing a
+    built workload across runs is safe because simulations never
+    mutate it: the only state that grows is the data model's size
+    memo, whose entries are a pure function of (address, seed) and are
+    fully prefetched at construction anyway.
 
     The cache is deliberately generic over the built value (a
     ``builder`` callable supplies it on miss) so this module does not
@@ -304,9 +366,10 @@ class WorkloadCache:
         seed: int,
         trace_records_per_core: int,
         builder: Callable[[], W],
+        token: str = DEFAULT_KEY_FAMILY,
     ) -> W:
         """Return the cached workload for the key, building on miss."""
-        key: WorkloadKey = (tuple(profiles), seed, trace_records_per_core)
+        key: WorkloadKey = (token, tuple(profiles), seed, trace_records_per_core)
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1

@@ -49,7 +49,13 @@ try:  # optional: only the zero-copy loader needs it
 except ImportError:  # pragma: no cover - numpy is baked into the image
     _np = None
 
-from .trace import MaterializedTrace, TraceRecord
+from .trace import CORE_ADDR_SHIFT, MaterializedTrace, TraceRecord
+
+#: Exclusive upper bound of a per-core block offset: the address slice
+#: below the core-id bits.  The external trace importer validates
+#: imported addresses against this so a too-wide address can never
+#: alias into another core's address space.
+MAX_BLOCK_OFFSET = 1 << CORE_ADDR_SHIFT
 
 _MAGIC = b"REPROTRC"
 _VERSION = 1

@@ -58,7 +58,7 @@ def test_unknown_mix_suggests(capsys):
     rc = main(["--scale", "smoke", "simulate", "--mix", "mix99", "--policy", "bh"])
     assert rc == 2
     err = capsys.readouterr().err
-    assert "unknown mix 'mix99'" in err
+    assert "unknown workload 'mix99'" in err
     assert "did you mean 'mix9'" in err
 
 

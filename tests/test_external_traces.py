@@ -1,0 +1,258 @@
+"""External trace ingestion: the full malformed-input failure taxonomy.
+
+The importer's contract is *unusable, never silently wrong*: every
+structural defect in the interchange CSV raises
+:class:`TraceFormatError` naming the line, and every on-disk artefact
+corrupted after import is either fatal (traces, target.json —
+quarantined, build fails) or deterministically degraded (size sidecars
+— quarantined, redrawn, counted in ``workload.sidecar_redraws``).
+"""
+
+import io
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.config import REPRO_EXTERNAL_ENV
+from repro.experiments.common import SMOKE
+from repro.fsio.quarantine import quarantine_dir
+from repro.workloads.external import (
+    TARGET_NAME,
+    import_trace,
+    load_target_manifest,
+    parse_interchange_csv,
+)
+from repro.workloads.registry import (
+    build_workload,
+    get_family,
+    workload_ref_fingerprint,
+)
+from repro.workloads.trace import CORE_ADDR_SHIFT
+from repro.workloads.traceio import MAX_BLOCK_OFFSET, TraceFormatError
+
+FIXTURE = Path(__file__).parent / "fixtures" / "external_fixture.csv"
+
+TINY = replace(SMOKE, trace_records_per_core=3_000)
+
+
+@pytest.fixture()
+def ext_root(tmp_path, monkeypatch):
+    root = tmp_path / "external"
+    monkeypatch.setenv(REPRO_EXTERNAL_ENV, str(root))
+    return root
+
+
+def _csv(text: str) -> io.StringIO:
+    return io.StringIO(text)
+
+
+# ----------------------------------------------------------------------
+# interchange CSV validation
+
+def test_parse_accepts_comments_header_and_hex():
+    records = parse_interchange_csv(
+        _csv("# comment\ncore,gap,addr,is_write\n0,5,0x40,1\n0,2,64,0\n"),
+        cores=1,
+    )
+    assert len(records[0]) == 2
+    assert records[0][0].addr == records[0][1].addr
+    assert records[0][0].is_write and not records[0][1].is_write
+
+
+def test_parse_byte_addresses_shift_to_blocks():
+    block, = parse_interchange_csv(_csv("0,1,128,0\n"), 1, addr_kind="byte")
+    assert block[0].addr == 128 >> 6
+
+
+def test_wrong_field_count_names_line():
+    with pytest.raises(TraceFormatError, match="line 2: expected 4 fields"):
+        parse_interchange_csv(_csv("0,1,2,0\n0,1,2\n"), 1)
+
+
+def test_unparsable_record_names_line():
+    with pytest.raises(TraceFormatError, match="line 1: unparsable"):
+        parse_interchange_csv(_csv("0,one,2,0\n"), 1)
+
+
+def test_core_out_of_range():
+    with pytest.raises(TraceFormatError, match="core 2 out of range"):
+        parse_interchange_csv(_csv("0,1,2,0\n1,1,2,0\n2,1,2,0\n"), 2)
+
+
+def test_negative_gap_rejected():
+    with pytest.raises(TraceFormatError, match="negative gap"):
+        parse_interchange_csv(_csv("0,-1,2,0\n"), 1)
+
+
+def test_negative_address_rejected():
+    with pytest.raises(TraceFormatError, match="negative address"):
+        parse_interchange_csv(_csv("0,1,-2,0\n"), 1)
+
+
+def test_address_beyond_core_slice_rejected():
+    too_big = MAX_BLOCK_OFFSET
+    with pytest.raises(TraceFormatError, match="address slice"):
+        parse_interchange_csv(_csv(f"0,1,{too_big},0\n"), 1)
+    # the largest representable offset is fine
+    records = parse_interchange_csv(_csv(f"0,1,{too_big - 1},0\n"), 1)
+    assert records[0][0].addr == too_big - 1
+
+
+def test_empty_core_rejected():
+    with pytest.raises(TraceFormatError, match="core 1 has no records"):
+        parse_interchange_csv(_csv("0,1,2,0\n"), 2)
+
+
+def test_import_rejects_bad_target_names(ext_root):
+    with pytest.raises(ValueError, match="bad target name"):
+        import_trace(FIXTURE, "../escape", cores=4)
+
+
+def test_import_without_root_is_loud(monkeypatch):
+    monkeypatch.delenv(REPRO_EXTERNAL_ENV, raising=False)
+    with pytest.raises(ValueError, match="no external workload root"):
+        import_trace(FIXTURE, "demo", cores=4)
+
+
+# ----------------------------------------------------------------------
+# happy path: committed fixture imports and runs
+
+def test_fixture_round_trip(ext_root):
+    target_dir = import_trace(FIXTURE, "fixture", cores=4)
+    assert (target_dir / TARGET_NAME).is_file()
+    for core in range(4):
+        assert (target_dir / f"core{core}.trc").is_file()
+        assert (target_dir / f"core{core}.sizes").is_file()
+
+    family = get_family("external")
+    assert family.targets() == ("fixture",)
+    spec = family.target_spec("fixture")
+    assert spec.cores == 4 and not spec.scalable
+
+    workload = build_workload("external:fixture", scale=TINY)
+    assert workload.family == "external"
+    assert workload.target == "fixture"
+    assert workload.sidecar_redraws == 0
+    assert [len(t) for t in workload.traces] == [300] * 4
+    for core, trace in enumerate(workload.traces):
+        assert all(a >> CORE_ADDR_SHIFT == core for a in trace.addrs)
+
+
+def test_fixture_simulates_deterministically(ext_root):
+    from repro.core import make_policy
+    from repro.engine import Simulation
+
+    import_trace(FIXTURE, "fixture", cores=4)
+    config = TINY.system()
+    results = []
+    for _ in range(2):
+        workload = build_workload("external:fixture", scale=TINY)
+        sim = Simulation(config, make_policy("bh"), workload)
+        epoch = config.dueling.epoch_cycles
+        result = sim.run(cycles=epoch, warmup_cycles=epoch * 0.25)
+        results.append((result.mean_ipc, result.stats.llc.hit_rate))
+    assert results[0] == results[1]
+    assert results[0][1] > 0  # the hot sets actually hit
+
+
+def test_external_fingerprint_tracks_reimports(ext_root, tmp_path):
+    import_trace(FIXTURE, "fixture", cores=4)
+    before = workload_ref_fingerprint("external:fixture")
+    assert before["family"] == "external"
+    # re-import with a different declared compressibility: the spec
+    # hash must change so stale memo entries are shed
+    import_trace(FIXTURE, "fixture", cores=4, hcr=0.9, lcr=0.05)
+    after = workload_ref_fingerprint("external:fixture")
+    assert after["spec_hash"] != before["spec_hash"]
+
+
+# ----------------------------------------------------------------------
+# post-import corruption: traces and manifest are fatal
+
+def test_truncated_trace_fails_build(ext_root):
+    target_dir = import_trace(FIXTURE, "fixture", cores=4)
+    trc = target_dir / "core1.trc"
+    trc.write_bytes(trc.read_bytes()[:-7])
+    with pytest.raises(TraceFormatError, match="checksum mismatch"):
+        build_workload("external:fixture", scale=TINY)
+    assert (quarantine_dir(target_dir) / "core1.trc").is_file()
+
+
+def test_bad_magic_trace_fails_build(ext_root):
+    target_dir = import_trace(FIXTURE, "fixture", cores=4)
+    trc = target_dir / "core0.trc"
+    data = bytearray(trc.read_bytes())
+    data[:4] = b"EVIL"
+    trc.write_bytes(bytes(data))
+    with pytest.raises(TraceFormatError):
+        build_workload("external:fixture", scale=TINY)
+
+
+def test_missing_trace_fails_build(ext_root):
+    target_dir = import_trace(FIXTURE, "fixture", cores=4)
+    (target_dir / "core2.trc").unlink()
+    with pytest.raises(TraceFormatError, match="missing trace file"):
+        build_workload("external:fixture", scale=TINY)
+
+
+def test_garbage_target_manifest_quarantined(ext_root):
+    target_dir = import_trace(FIXTURE, "fixture", cores=4)
+    (target_dir / TARGET_NAME).write_bytes(b"\x00garbage\xff")
+    with pytest.raises(TraceFormatError, match="unparsable target record"):
+        load_target_manifest(target_dir)
+    assert (quarantine_dir(target_dir) / TARGET_NAME).is_file()
+    # the quarantined manifest no longer resolves as a target at all
+    assert "fixture" not in get_family("external").targets()
+
+
+def test_plain_json_manifest_rejected(ext_root):
+    target_dir = import_trace(FIXTURE, "fixture", cores=4)
+    (target_dir / TARGET_NAME).write_text(json.dumps({"cores": 4}))
+    with pytest.raises(TraceFormatError, match="not a checksummed"):
+        load_target_manifest(target_dir)
+
+
+def test_tampered_envelope_rejected(ext_root):
+    target_dir = import_trace(FIXTURE, "fixture", cores=4)
+    path = target_dir / TARGET_NAME
+    data = json.loads(path.read_text())
+    data["payload"]["cores"] = 8  # checksum no longer matches
+    path.write_text(json.dumps(data))
+    with pytest.raises(TraceFormatError):
+        load_target_manifest(target_dir)
+
+
+# ----------------------------------------------------------------------
+# post-import corruption: size sidecars degrade deterministically
+
+def test_corrupt_sizes_sidecar_redraws_and_counts(ext_root):
+    target_dir = import_trace(FIXTURE, "fixture", cores=4)
+    intact = build_workload("external:fixture", scale=TINY)
+    reference = [
+        dict(intact.data_model.sizes_for(set(trace.addrs)))
+        for trace in intact.traces
+    ]
+
+    (target_dir / "core3.sizes").write_bytes(b"REPROSZC" + b"\x00" * 10)
+    # sidecars are advisory: the corrupt one must not poison the
+    # also-affected manifest hash check, so patch target.json's sizes
+    # entry out of the comparison by rebuilding the workload fresh
+    degraded = build_workload("external:fixture", scale=TINY)
+    assert degraded.sidecar_redraws == 1
+    assert (quarantine_dir(target_dir) / "core3.sizes").is_file()
+    redrawn = [
+        dict(degraded.data_model.sizes_for(set(trace.addrs)))
+        for trace in degraded.traces
+    ]
+    # the redraw is deterministic: same seed, same sizes as at import
+    assert redrawn == reference
+
+
+def test_missing_sizes_sidecar_is_not_an_error(ext_root):
+    target_dir = import_trace(FIXTURE, "fixture", cores=4)
+    (target_dir / "core0.sizes").unlink()
+    workload = build_workload("external:fixture", scale=TINY)
+    assert workload.sidecar_redraws == 0
+    assert not quarantine_dir(target_dir).exists()
